@@ -1,0 +1,324 @@
+// Package csb is the public API of the Cyber-Security Benchmark data
+// generation suite: a Go reproduction of "A Comparison of Graph-Based
+// Synthetic Data Generators for Benchmarking Next-Generation Intrusion
+// Detection Systems" (IEEE CLUSTER 2017).
+//
+// The pipeline follows the paper end to end:
+//
+//  1. Obtain a seed trace — read a PCAP capture (ReadTracePCAP) or
+//     synthesize one (SynthesizeTrace).
+//  2. Convert packets to Netflow records and to a property graph
+//     (AssembleFlows, BuildFlowGraph) and analyze it (AnalyzeSeed).
+//  3. Grow the seed with a generator: PGPBA (Barabási-Albert based) or
+//     PGSK (stochastic Kronecker based).
+//  4. Evaluate veracity (DegreeVeracity, PageRankVeracity), run workload
+//     queries (NewQueryEngine), or hunt anomalies (Detect).
+//
+// A minimal session:
+//
+//	seed, _ := csb.BuildSyntheticSeed(100, 2000, 42)
+//	gen := &csb.PGPBA{Fraction: 0.1, Seed: 42}
+//	synthetic, _ := gen.Generate(seed, 1_000_000)
+//	score, _ := csb.DegreeVeracity(seed.Graph, synthetic)
+package csb
+
+import (
+	"fmt"
+	"io"
+
+	"csb/internal/attack"
+	"csb/internal/cluster"
+	"csb/internal/core"
+	"csb/internal/genmodels"
+	"csb/internal/graph"
+	"csb/internal/graphalgo"
+	"csb/internal/ids"
+	"csb/internal/kronecker"
+	"csb/internal/netflow"
+	"csb/internal/pagerank"
+	"csb/internal/pcap"
+	"csb/internal/pso"
+	"csb/internal/query"
+	"csb/internal/stats"
+	"csb/internal/workload"
+)
+
+// Re-exported core types. The aliases make the internal packages' types part
+// of the public API without duplicating them.
+type (
+	// Graph is a directed property multigraph (hosts as vertices, flows as
+	// edges carrying Netflow attributes).
+	Graph = graph.Graph
+	// Edge is one flow edge.
+	Edge = graph.Edge
+	// EdgeProps carries the Netflow attributes of an edge.
+	EdgeProps = graph.EdgeProps
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Packet is a decoded IPv4 packet.
+	Packet = pcap.PacketInfo
+	// TraceConfig parameterizes synthetic trace generation.
+	TraceConfig = pcap.TraceConfig
+	// Flow is a Netflow record.
+	Flow = netflow.Flow
+	// Seed is an analyzed seed graph ready for generation.
+	Seed = core.Seed
+	// PGPBA is the Property-Graph Parallel Barabási-Albert generator.
+	PGPBA = core.PGPBA
+	// PGSK is the Property-Graph Stochastic Kronecker generator.
+	PGSK = core.PGSK
+	// Generator is the common generator contract.
+	Generator = core.Generator
+	// Cluster is the (virtual) execution cluster.
+	Cluster = cluster.Cluster
+	// ClusterConfig describes a cluster topology.
+	ClusterConfig = cluster.Config
+	// ClusterMetrics is the virtual-time and memory accounting.
+	ClusterMetrics = cluster.Metrics
+	// Initiator is a 2x2 Kronecker initiator matrix.
+	Initiator = kronecker.Initiator
+	// Alert is one anomaly detection.
+	Alert = ids.Alert
+	// Thresholds are the Table I detection thresholds.
+	Thresholds = ids.Thresholds
+	// AttackType classifies alerts.
+	AttackType = ids.AttackType
+	// Scenario is labeled attack traffic for detector evaluation.
+	Scenario = attack.Scenario
+	// QueryEngine answers workload queries over a property graph.
+	QueryEngine = query.Engine
+)
+
+// Attack classes (re-exported from the ids package).
+const (
+	AttackHostScan    = ids.AttackHostScan
+	AttackNetworkScan = ids.AttackNetworkScan
+	AttackSYNFlood    = ids.AttackSYNFlood
+	AttackFlood       = ids.AttackFlood
+	AttackDDoS        = ids.AttackDDoS
+)
+
+// DefaultTraceConfig returns the standard synthetic-trace configuration.
+func DefaultTraceConfig(hosts, sessions int, seed uint64) TraceConfig {
+	return pcap.DefaultTraceConfig(hosts, sessions, seed)
+}
+
+// SynthesizeTrace generates a synthetic packet trace (the substitute for a
+// captured PCAP seed).
+func SynthesizeTrace(cfg TraceConfig) ([]Packet, error) {
+	return pcap.Synthesize(cfg)
+}
+
+// WriteTracePCAP writes packets as a libpcap capture.
+func WriteTracePCAP(w io.Writer, packets []Packet) error {
+	return pcap.WriteTrace(w, packets)
+}
+
+// ReadTracePCAP reads a libpcap capture, returning its IPv4 packets.
+func ReadTracePCAP(r io.Reader) ([]Packet, error) {
+	return pcap.ReadTrace(r)
+}
+
+// AssembleFlows converts packets to Netflow records with the default idle
+// timeout (the Bro-analysis step of Figure 1).
+func AssembleFlows(packets []Packet) []Flow {
+	return netflow.Assemble(packets, 0)
+}
+
+// BuildFlowGraph maps flow records onto a property graph.
+func BuildFlowGraph(flows []Flow) *Graph {
+	return netflow.BuildGraph(flows)
+}
+
+// FlowsOf converts a property graph back to flow records.
+func FlowsOf(g *Graph) []Flow {
+	return netflow.FlowsFromGraph(g)
+}
+
+// WriteFlowsCSV serializes flows as CSV with a header row.
+func WriteFlowsCSV(w io.Writer, flows []Flow) error {
+	return netflow.WriteCSV(w, flows)
+}
+
+// ReadFlowsCSV parses flows written by WriteFlowsCSV.
+func ReadFlowsCSV(r io.Reader) ([]Flow, error) {
+	return netflow.ReadCSV(r)
+}
+
+// ReadGraph deserializes a property graph written with Graph.Write.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	return graph.Read(r)
+}
+
+// AnalyzeSeed computes the degree and attribute distributions of a seed
+// property graph (the last step of Figure 1).
+func AnalyzeSeed(g *Graph) (*Seed, error) {
+	return core.Analyze(g)
+}
+
+// BuildSyntheticSeed runs the whole Figure 1 pipeline over a synthetic
+// trace: hosts and sessions control the seed's size, seed the randomness.
+func BuildSyntheticSeed(hosts, sessions int, seed uint64) (*Seed, error) {
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(hosts, sessions, seed))
+	if err != nil {
+		return nil, fmt.Errorf("csb: synthesizing trace: %w", err)
+	}
+	return core.Analyze(netflow.BuildGraph(netflow.Assemble(pkts, 0)))
+}
+
+// BuildSeedFromPCAP runs the Figure 1 pipeline over a captured trace.
+func BuildSeedFromPCAP(r io.Reader) (*Seed, error) {
+	pkts, err := pcap.ReadTrace(r)
+	if err != nil {
+		return nil, fmt.Errorf("csb: reading PCAP: %w", err)
+	}
+	return core.Analyze(netflow.BuildGraph(netflow.Assemble(pkts, 0)))
+}
+
+// NewCluster creates an execution cluster; see ClusterConfig.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(cfg)
+}
+
+// LocalCluster returns a single-node cluster bounded by maxParallel real
+// cores (0 means all).
+func LocalCluster(maxParallel int) *Cluster {
+	return cluster.Local(maxParallel)
+}
+
+// DegreeVeracity computes the degree veracity score of a synthetic graph
+// against its seed (Section V-A; smaller is better).
+func DegreeVeracity(seed, synthetic *Graph) (float64, error) {
+	return stats.VeracityScoreInt(seed.Degrees(), synthetic.Degrees())
+}
+
+// PageRankVeracity computes the PageRank veracity score of a synthetic
+// graph against its seed (Section V-A; smaller is better).
+func PageRankVeracity(seed, synthetic *Graph) (float64, error) {
+	seedPR, err := pagerank.Compute(seed, pagerank.Options{})
+	if err != nil {
+		return 0, err
+	}
+	synPR, err := pagerank.Compute(synthetic, pagerank.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return stats.VeracityScore(seedPR.Ranks, synPR.Ranks)
+}
+
+// PageRanks computes the PageRank vector of g with default options.
+func PageRanks(g *Graph) ([]float64, error) {
+	res, err := pagerank.Compute(g, pagerank.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Ranks, nil
+}
+
+// DefaultThresholds returns the baseline detection thresholds of Table I.
+func DefaultThresholds() Thresholds { return ids.DefaultThresholds() }
+
+// TrainThresholds derives detection thresholds from attack-free traffic.
+func TrainThresholds(normal []Flow, quantile, margin float64) Thresholds {
+	return ids.TrainThresholds(normal, quantile, margin)
+}
+
+// Detect runs the Section IV anomaly-detection flow over a property graph.
+func Detect(g *Graph, t Thresholds) []Alert {
+	return ids.NewDetector(t).DetectGraph(g)
+}
+
+// DetectFlows runs the detector directly over flow records.
+func DetectFlows(flows []Flow, t Thresholds) []Alert {
+	return ids.NewDetector(t).Detect(flows)
+}
+
+// NewScenario starts a labeled attack scenario from background traffic; use
+// its Inject methods to add attacks and Score to grade detector output.
+func NewScenario(background []Flow) *Scenario {
+	return attack.NewScenario(background)
+}
+
+// TuneThresholds optimizes thresholds against a labeled scenario with PSO.
+func TuneThresholds(s *Scenario, base Thresholds, seed uint64) (Thresholds, error) {
+	tuned, _, err := attack.TuneThresholds(s, base, pso.Config{Seed: seed})
+	return tuned, err
+}
+
+// NewQueryEngine indexes a property graph for workload queries.
+func NewQueryEngine(g *Graph) *QueryEngine {
+	return query.NewEngine(g)
+}
+
+// StreamDetector is the on-line anomaly detector over flow streams.
+type StreamDetector = ids.StreamDetector
+
+// NewStreamDetector builds a streaming detector with tumbling windows of
+// windowMicros microseconds (0 selects one minute); alerts are delivered to
+// sink as windows close.
+func NewStreamDetector(t Thresholds, windowMicros int64, sink func(Alert)) *StreamDetector {
+	return ids.NewStreamDetector(t, windowMicros, sink)
+}
+
+// Components is a weakly-connected-component labelling.
+type Components = graphalgo.Components
+
+// ConnectedComponents computes the weakly connected components of g.
+func ConnectedComponents(g *Graph) *Components {
+	return graphalgo.WeakComponents(g)
+}
+
+// Betweenness estimates vertex betweenness centrality with Brandes sweeps
+// over `samples` sampled sources (0 means exact).
+func Betweenness(g *Graph, samples int, seed uint64) []float64 {
+	return graphalgo.ApproxBetweenness(g, graphalgo.BetweennessOptions{Samples: samples, Seed: seed})
+}
+
+// WorkloadSpec defines the IDS benchmark query mix.
+type WorkloadSpec = workload.Spec
+
+// WorkloadResult reports a workload run.
+type WorkloadResult = workload.Result
+
+// DefaultWorkloadSpec returns the balanced benchmark mix.
+func DefaultWorkloadSpec(seed uint64) WorkloadSpec {
+	return workload.DefaultSpec(seed)
+}
+
+// RunWorkload executes the IDS benchmark query mix (node, edge, path and
+// sub-graph queries plus analytics) over a property graph.
+func RunWorkload(g *Graph, spec WorkloadSpec) (*WorkloadResult, error) {
+	return workload.Run(g, spec)
+}
+
+// Classical baseline generators (Section II of the paper), re-exported for
+// comparison studies against PGPBA and PGSK.
+var (
+	// ErdosRenyi generates G(n, m) with m distinct uniform directed edges.
+	ErdosRenyi = genmodels.ErdosRenyi
+	// WattsStrogatz generates the rewired ring-lattice small-world model.
+	WattsStrogatz = genmodels.WattsStrogatz
+	// ChungLu generates a multigraph matching expected degree sequences.
+	ChungLu = genmodels.ChungLu
+	// SBM generates a stochastic block model from block sizes and a
+	// block-pair probability matrix.
+	SBM = genmodels.SBM
+	// RMAT generates a recursive-matrix graph from quadrant probabilities.
+	RMAT = genmodels.RMAT
+	// BTER generates the block two-level Erdős-Rényi model (degree sequence
+	// plus community structure / clustering).
+	BTER = genmodels.BTER
+)
+
+// ClusteringCoefficients returns the average local clustering coefficient
+// and the global transitivity of g's undirected simple view.
+func ClusteringCoefficients(g *Graph) (avgLocal, global float64) {
+	return graphalgo.ClusteringCoefficients(g)
+}
+
+// DetectDirect runs the Section IV anomaly-detection flow using the
+// vertex-indexed graph aggregation (the fast path; identical alerts to
+// Detect).
+func DetectDirect(g *Graph, t Thresholds) []Alert {
+	return ids.NewDetector(t).DetectGraphDirect(g)
+}

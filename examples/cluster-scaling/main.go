@@ -1,0 +1,78 @@
+// Cluster scaling: a miniature of the paper's Figures 9 and 12 — generate
+// graphs on virtual clusters, showing linear generation time in the number
+// of edges and near-linear strong-scaling speedup in the number of nodes,
+// with PGPBA closer to ideal than PGSK (whose distinct-edge shuffle is a
+// serial section).
+//
+//	go run ./examples/cluster-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"csb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	seed, err := csb.BuildSyntheticSeed(60, 1000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seed: %d vertices, %d edges\n", seed.Graph.NumVertices(), seed.Graph.NumEdges())
+
+	// Part 1 (Figure 9 shape): fixed 8-node virtual cluster, growing sizes.
+	fmt.Println("\n-- generation time vs size (8 virtual nodes) --")
+	fmt.Println("generator\tedges\tvirtual_time")
+	for _, size := range []int64{20_000, 80_000, 320_000} {
+		for _, mk := range []func(c *csb.Cluster) csb.Generator{
+			func(c *csb.Cluster) csb.Generator { return &csb.PGPBA{Fraction: 2, Seed: 42, Cluster: c} },
+			func(c *csb.Cluster) csb.Generator { return &csb.PGSK{Seed: 42, Cluster: c} },
+		} {
+			c, err := csb.NewCluster(csb.ClusterConfig{Nodes: 8, CoresPerNode: 4})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen := mk(c)
+			g, err := gen.Generate(seed, size)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := c.Metrics()
+			fmt.Printf("%s\t%d\t%v\n", gen.Name(), g.NumEdges(), m.Makespan.Round(time.Microsecond))
+		}
+	}
+
+	// Part 2 (Figure 12 shape): fixed size, growing node counts.
+	fmt.Println("\n-- strong scaling at 200k edges --")
+	fmt.Println("generator\tnodes\tvirtual_time\tspeedup")
+	for _, mk := range []func(c *csb.Cluster) csb.Generator{
+		func(c *csb.Cluster) csb.Generator { return &csb.PGPBA{Fraction: 2, Seed: 42, Cluster: c} },
+		func(c *csb.Cluster) csb.Generator { return &csb.PGSK{Seed: 42, Cluster: c} },
+	} {
+		base := time.Duration(0)
+		for _, nodes := range []int{2, 4, 8, 16} {
+			c, err := csb.NewCluster(csb.ClusterConfig{
+				Nodes: nodes, CoresPerNode: 4,
+				// Pin partitions so every run executes the same task set.
+				DefaultPartitions: 2 * 16 * 4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen := mk(c)
+			if _, err := gen.Generate(seed, 200_000); err != nil {
+				log.Fatal(err)
+			}
+			span := c.Metrics().Makespan
+			if base == 0 {
+				base = span
+			}
+			fmt.Printf("%s\t%d\t%v\t%.2fx\n", gen.Name(), nodes,
+				span.Round(time.Microsecond), float64(base)/float64(span))
+		}
+	}
+}

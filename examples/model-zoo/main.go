@@ -1,0 +1,90 @@
+// Model zoo: the comparison the paper's title promises, through the public
+// API — every classical random-graph model of Section II next to the
+// paper's seed-driven generators, judged on the structural properties a
+// network-trace benchmark cares about: hubs (tail ratio), clustering, and
+// veracity against the seed.
+//
+//	go run ./examples/model-zoo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	seed, err := csb.BuildSyntheticSeed(100, 2000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedClust, _ := csb.ClusteringCoefficients(seed.Graph)
+	fmt.Printf("seed: %d hosts, %d flows, clustering %.3f\n\n",
+		seed.Graph.NumVertices(), seed.Graph.NumEdges(), seedClust)
+
+	const edges = 100_000
+	n := int64(5000) // vertex budget for the size-parameterized models
+
+	outSeq := make([]float64, n)
+	inSeq := make([]float64, n)
+	so := seed.Graph.OutDegrees()
+	si := seed.Graph.InDegrees()
+	for i := int64(0); i < n; i++ {
+		outSeq[i] = float64(so[i%seed.Graph.NumVertices()])
+		inSeq[i] = float64(si[i%seed.Graph.NumVertices()])
+	}
+	degSeq := make([]int64, n)
+	for i := range degSeq {
+		degSeq[i] = int64(outSeq[i] + inSeq[i])
+	}
+
+	models := []struct {
+		name  string
+		build func() (*csb.Graph, error)
+	}{
+		{"erdos-renyi", func() (*csb.Graph, error) { return csb.ErdosRenyi(n, edges, 42) }},
+		{"watts-strogatz", func() (*csb.Graph, error) { return csb.WattsStrogatz(n, int(edges/n), 0.1, 42) }},
+		{"chung-lu", func() (*csb.Graph, error) { return csb.ChungLu(outSeq, inSeq, 42) }},
+		{"bter", func() (*csb.Graph, error) { return csb.BTER(degSeq, 0.8, 42) }},
+		{"rmat", func() (*csb.Graph, error) { return csb.RMAT(13, edges, 0.57, 0.19, 0.19, 0.05, 42) }},
+		{"pgpba", func() (*csb.Graph, error) {
+			return (&csb.PGPBA{Fraction: 0.1, Seed: 42}).Generate(seed, edges)
+		}},
+		{"pgsk", func() (*csb.Graph, error) {
+			return (&csb.PGSK{Seed: 42}).Generate(seed, edges)
+		}},
+	}
+
+	fmt.Println("model            edges   tail(max/mean)  clustering  degree_veracity")
+	for _, m := range models {
+		g, err := m.build()
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		var sum, maxD int64
+		var nPos int64
+		for _, d := range g.Degrees() {
+			if d > 0 {
+				sum += d
+				nPos++
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		tail := float64(maxD) / (float64(sum) / float64(nPos))
+		clust, _ := csb.ClusteringCoefficients(g)
+		dv, err := csb.DegreeVeracity(seed.Graph, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %7d %12.1f %11.3f %16.3e\n", m.name, g.NumEdges(), tail, clust, dv)
+	}
+
+	fmt.Println("\nER and WS have no hubs; Chung-Lu matches degrees but has no communities;")
+	fmt.Println("BTER restores clustering; R-MAT and the paper's PGPBA/PGSK grow scale-free")
+	fmt.Println("hubs — and only PGPBA/PGSK carry full Netflow properties from the seed.")
+}

@@ -1,0 +1,3 @@
+module csb
+
+go 1.24

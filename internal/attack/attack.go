@@ -1,0 +1,205 @@
+// Package attack synthesizes labeled attack traffic at the Netflow level:
+// the scanning and flooding behaviours Section IV's detector targets, with
+// ground-truth labels so detection quality can be measured and thresholds
+// tuned. Each injector mirrors the traffic characterization in the paper
+// (small probe packets for scans, small unanswered SYNs for SYN floods,
+// high-bandwidth many-packet flows for floods, many sources for DDoS).
+package attack
+
+import (
+	"math/rand/v2"
+
+	"csb/internal/graph"
+	"csb/internal/ids"
+	"csb/internal/netflow"
+)
+
+// Label is the ground truth for one injected attack.
+type Label struct {
+	Type     ids.AttackType
+	Attacker uint32 // zero for DDoS (many attackers)
+	Victim   uint32 // zero for network scans (many victims)
+}
+
+// Scenario is a traffic mix: background flows plus injected attacks with
+// their labels.
+type Scenario struct {
+	Flows  []netflow.Flow
+	Labels []Label
+}
+
+// NewScenario starts a scenario from background traffic.
+func NewScenario(background []netflow.Flow) *Scenario {
+	return &Scenario{Flows: append([]netflow.Flow(nil), background...)}
+}
+
+// probeFlow builds one small scan probe: a 40-byte SYN answered by nothing
+// or a reject.
+func probeFlow(rng *rand.Rand, attacker, victim uint32, port uint16, ts int64) netflow.Flow {
+	f := netflow.Flow{
+		SrcIP: attacker, DstIP: victim,
+		Protocol: graph.ProtoTCP,
+		SrcPort:  uint16(32768 + rng.IntN(28000)), DstPort: port,
+		StartMicros: ts, EndMicros: ts + 1000,
+		OutBytes: 40, OutPkts: 1,
+		SYNCount: 1,
+	}
+	if rng.Float64() < 0.3 { // closed port answered by RST
+		f.State = graph.StateREJ
+		f.InBytes, f.InPkts = 40, 1
+	} else {
+		f.State = graph.StateS0
+	}
+	return f
+}
+
+// InjectHostScan adds a vertical port scan: attacker probes nPorts distinct
+// ports of victim.
+func (s *Scenario) InjectHostScan(rng *rand.Rand, attacker, victim uint32, nPorts int, startMicros int64) {
+	for i := 0; i < nPorts; i++ {
+		s.Flows = append(s.Flows, probeFlow(rng, attacker, victim, uint16(i+1), startMicros+int64(i)*1000))
+	}
+	s.Labels = append(s.Labels, Label{Type: ids.AttackHostScan, Attacker: attacker, Victim: victim})
+}
+
+// InjectNetworkScan adds a horizontal scan: attacker probes one port across
+// nHosts victims (victims get addresses base+1 .. base+nHosts).
+func (s *Scenario) InjectNetworkScan(rng *rand.Rand, attacker uint32, victimBase uint32, nHosts int, port uint16, startMicros int64) {
+	for i := 0; i < nHosts; i++ {
+		s.Flows = append(s.Flows, probeFlow(rng, attacker, victimBase+uint32(i+1), port, startMicros+int64(i)*1000))
+	}
+	s.Labels = append(s.Labels, Label{Type: ids.AttackNetworkScan, Attacker: attacker})
+}
+
+// InjectSYNFlood adds a TCP SYN flood: nFlows unanswered SYN flows from
+// spoofed sources against one port of the victim.
+func (s *Scenario) InjectSYNFlood(rng *rand.Rand, victim uint32, port uint16, nFlows int, startMicros int64) {
+	for i := 0; i < nFlows; i++ {
+		src := 0xc0000000 | rng.Uint32()&0x00ffffff // spoofed 192.x pool
+		f := netflow.Flow{
+			SrcIP: src, DstIP: victim,
+			Protocol: graph.ProtoTCP,
+			SrcPort:  uint16(1024 + rng.IntN(60000)), DstPort: port,
+			StartMicros: startMicros + int64(i)*100, EndMicros: startMicros + int64(i)*100 + 500,
+			OutBytes: 40, OutPkts: 1,
+			State:    graph.StateS0,
+			SYNCount: 1,
+		}
+		s.Flows = append(s.Flows, f)
+	}
+	s.Labels = append(s.Labels, Label{Type: ids.AttackSYNFlood, Victim: victim})
+}
+
+// InjectFlood adds a bandwidth flood (UDP by default): nFlows bulky flows
+// from one attacker to the victim.
+func (s *Scenario) InjectFlood(rng *rand.Rand, attacker, victim uint32, proto graph.Protocol, nFlows int, startMicros int64) {
+	for i := 0; i < nFlows; i++ {
+		bytes := int64(500_000 + rng.Int64N(1_000_000))
+		pkts := bytes / 1000
+		f := netflow.Flow{
+			SrcIP: attacker, DstIP: victim,
+			Protocol: proto,
+			SrcPort:  uint16(1024 + rng.IntN(60000)), DstPort: 80,
+			StartMicros: startMicros + int64(i)*1000, EndMicros: startMicros + int64(i)*1000 + 5_000_000,
+			OutBytes: bytes, OutPkts: pkts,
+		}
+		if proto == graph.ProtoTCP {
+			f.State = graph.StateS1
+			f.SYNCount, f.ACKCount = 2, pkts
+		}
+		s.Flows = append(s.Flows, f)
+	}
+	s.Labels = append(s.Labels, Label{Type: ids.AttackFlood, Attacker: attacker, Victim: victim})
+}
+
+// InjectDDoS adds a distributed flood: nSources attackers each send bulky
+// flows at the victim.
+func (s *Scenario) InjectDDoS(rng *rand.Rand, victim uint32, nSources, flowsPerSource int, startMicros int64) {
+	for src := 0; src < nSources; src++ {
+		attacker := 0xd0000000 | uint32(src+1)
+		for i := 0; i < flowsPerSource; i++ {
+			bytes := int64(200_000 + rng.Int64N(400_000))
+			s.Flows = append(s.Flows, netflow.Flow{
+				SrcIP: attacker, DstIP: victim,
+				Protocol: graph.ProtoUDP,
+				SrcPort:  uint16(1024 + rng.IntN(60000)), DstPort: 53,
+				StartMicros: startMicros + int64(i)*1000, EndMicros: startMicros + int64(i)*1000 + 2_000_000,
+				OutBytes: bytes, OutPkts: bytes / 800,
+			})
+		}
+	}
+	s.Labels = append(s.Labels, Label{Type: ids.AttackDDoS, Victim: victim})
+}
+
+// Outcome scores a detection run against the scenario's ground truth.
+type Outcome struct {
+	TruePositives  int // labels matched by an alert of the right type and IP
+	FalseNegatives int // labels with no matching alert
+	FalsePositives int // alerts matching no label
+}
+
+// Precision returns TP / (TP + FP), or 1 when nothing was reported.
+func (o Outcome) Precision() float64 {
+	if o.TruePositives+o.FalsePositives == 0 {
+		return 1
+	}
+	return float64(o.TruePositives) / float64(o.TruePositives+o.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN), or 1 when nothing was labeled.
+func (o Outcome) Recall() float64 {
+	if o.TruePositives+o.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(o.TruePositives) / float64(o.TruePositives+o.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (o Outcome) F1() float64 {
+	p, r := o.Precision(), o.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Score matches alerts against the scenario labels. An alert matches a label
+// when the types agree and the alert's detection IP equals the label's
+// victim (destination-based alerts) or attacker (source-based alerts).
+func (s *Scenario) Score(alerts []ids.Alert) Outcome {
+	matched := make([]bool, len(s.Labels))
+	usedAlert := make([]bool, len(alerts))
+	for li, l := range s.Labels {
+		for ai := range alerts {
+			if usedAlert[ai] || alerts[ai].Type != l.Type {
+				continue
+			}
+			a := &alerts[ai]
+			var ok bool
+			if a.ByDst {
+				ok = l.Victim != 0 && a.IP == l.Victim
+			} else {
+				ok = l.Attacker != 0 && a.IP == l.Attacker
+			}
+			if ok {
+				matched[li] = true
+				usedAlert[ai] = true
+				break
+			}
+		}
+	}
+	var out Outcome
+	for _, m := range matched {
+		if m {
+			out.TruePositives++
+		} else {
+			out.FalseNegatives++
+		}
+	}
+	for _, u := range usedAlert {
+		if !u {
+			out.FalsePositives++
+		}
+	}
+	return out
+}

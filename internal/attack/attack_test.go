@@ -1,0 +1,166 @@
+package attack
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"csb/internal/graph"
+	"csb/internal/ids"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+	"csb/internal/pso"
+)
+
+func background(t testing.TB, seed uint64) []netflow.Flow {
+	t.Helper()
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(40, 600, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netflow.Assemble(pkts, 0)
+}
+
+func fullScenario(t testing.TB, seed uint64) *Scenario {
+	t.Helper()
+	s := NewScenario(background(t, seed))
+	rng := rand.New(rand.NewPCG(seed, 0xa77))
+	base := int64(1318204800) * 1e6
+	s.InjectHostScan(rng, 0xbad00001, pcap.HostIP(2), 1500, base)
+	s.InjectNetworkScan(rng, 0xbad00002, 0x0a010000, 150, 22, base)
+	s.InjectSYNFlood(rng, pcap.HostIP(4), 80, 2500, base)
+	s.InjectFlood(rng, 0xbad00003, pcap.HostIP(6), graph.ProtoUDP, 10, base)
+	s.InjectDDoS(rng, pcap.HostIP(8), 80, 3, base)
+	return s
+}
+
+func TestInjectorsAddLabeledFlows(t *testing.T) {
+	s := NewScenario(nil)
+	rng := rand.New(rand.NewPCG(1, 1))
+	s.InjectHostScan(rng, 1, 2, 50, 0)
+	if len(s.Labels) != 1 || s.Labels[0].Type != ids.AttackHostScan {
+		t.Fatalf("labels = %+v", s.Labels)
+	}
+	if len(s.Flows) != 50 {
+		t.Fatalf("flows = %d, want 50", len(s.Flows))
+	}
+	// Scan probes are small TCP flows against distinct ports.
+	ports := map[uint16]bool{}
+	for _, f := range s.Flows {
+		if f.Protocol != graph.ProtoTCP || f.OutBytes != 40 {
+			t.Fatalf("probe flow wrong: %+v", f)
+		}
+		ports[f.DstPort] = true
+	}
+	if len(ports) != 50 {
+		t.Fatalf("distinct ports = %d, want 50", len(ports))
+	}
+}
+
+func TestInjectSYNFloodShape(t *testing.T) {
+	s := NewScenario(nil)
+	rng := rand.New(rand.NewPCG(2, 2))
+	s.InjectSYNFlood(rng, 9, 80, 100, 0)
+	srcs := map[uint32]bool{}
+	for _, f := range s.Flows {
+		if f.State != graph.StateS0 || f.SYNCount != 1 || f.DstPort != 80 {
+			t.Fatalf("SYN flood flow wrong: %+v", f)
+		}
+		srcs[f.SrcIP] = true
+	}
+	if len(srcs) < 50 {
+		t.Fatalf("spoofed sources = %d, want many", len(srcs))
+	}
+}
+
+func TestInjectDDoSManySources(t *testing.T) {
+	s := NewScenario(nil)
+	rng := rand.New(rand.NewPCG(3, 3))
+	s.InjectDDoS(rng, 9, 25, 4, 0)
+	if len(s.Flows) != 100 {
+		t.Fatalf("flows = %d, want 100", len(s.Flows))
+	}
+	srcs := map[uint32]bool{}
+	for _, f := range s.Flows {
+		srcs[f.SrcIP] = true
+	}
+	if len(srcs) != 25 {
+		t.Fatalf("sources = %d, want 25", len(srcs))
+	}
+}
+
+func TestScenarioDetectionEndToEnd(t *testing.T) {
+	s := fullScenario(t, 5)
+	// Thresholds trained on attack-free traffic from the same network, as
+	// the paper prescribes.
+	det := ids.NewDetector(ids.TrainThresholds(background(t, 99), 0.99, 2))
+	out := s.Score(det.Detect(s.Flows))
+	if out.Recall() < 0.8 {
+		t.Fatalf("recall = %g (%+v), want >= 0.8", out.Recall(), out)
+	}
+	if out.Precision() < 0.5 {
+		t.Fatalf("precision = %g (%+v)", out.Precision(), out)
+	}
+}
+
+func TestScoreCountsFalsePositivesAndNegatives(t *testing.T) {
+	s := NewScenario(nil)
+	s.Labels = append(s.Labels, Label{Type: ids.AttackHostScan, Victim: 7})
+	alerts := []ids.Alert{
+		{Type: ids.AttackHostScan, IP: 7, ByDst: true}, // match
+		{Type: ids.AttackFlood, IP: 9, ByDst: true},    // FP
+		{Type: ids.AttackHostScan, IP: 8, ByDst: true}, // FP (wrong IP)
+	}
+	out := s.Score(alerts)
+	if out.TruePositives != 1 || out.FalsePositives != 2 || out.FalseNegatives != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Unmatched label.
+	s2 := NewScenario(nil)
+	s2.Labels = append(s2.Labels, Label{Type: ids.AttackDDoS, Victim: 3})
+	out2 := s2.Score(nil)
+	if out2.FalseNegatives != 1 || out2.Recall() != 0 {
+		t.Fatalf("outcome = %+v", out2)
+	}
+}
+
+func TestOutcomeMetrics(t *testing.T) {
+	o := Outcome{TruePositives: 3, FalsePositives: 1, FalseNegatives: 1}
+	if o.Precision() != 0.75 || o.Recall() != 0.75 {
+		t.Fatalf("P/R = %g/%g", o.Precision(), o.Recall())
+	}
+	if f1 := o.F1(); f1 != 0.75 {
+		t.Fatalf("F1 = %g", f1)
+	}
+	var empty Outcome
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("empty outcome not neutral")
+	}
+	bad := Outcome{FalseNegatives: 1, FalsePositives: 1}
+	if bad.F1() != 0 {
+		t.Fatalf("all-wrong F1 = %g", bad.F1())
+	}
+}
+
+func TestTuneThresholdsImprovesF1(t *testing.T) {
+	s := fullScenario(t, 6)
+	// Start from deliberately bad thresholds.
+	bad := ids.DefaultThresholds()
+	bad.NFT = 1
+	bad.FSHT = 1000
+	detBad := ids.NewDetector(bad)
+	before := s.Score(detBad.Detect(s.Flows)).F1()
+
+	tuned, out, err := TuneThresholds(s, bad, pso.Config{Particles: 12, Iterations: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F1() < before {
+		t.Fatalf("tuning degraded F1: %g -> %g", before, out.F1())
+	}
+	if out.F1() < 0.6 {
+		t.Fatalf("tuned F1 = %g, want >= 0.6", out.F1())
+	}
+	if tuned == bad {
+		t.Fatal("thresholds unchanged by tuning")
+	}
+}

@@ -1,0 +1,187 @@
+package ba
+
+import (
+	"testing"
+
+	"csb/internal/graph"
+	"csb/internal/stats"
+)
+
+func TestClassicSizes(t *testing.T) {
+	g, err := Classic(1000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d, want 1000", g.NumVertices())
+	}
+	// Ring of m+1=4 edges + (1000-4) vertices * 3 edges.
+	want := int64(4 + 996*3)
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicValidation(t *testing.T) {
+	if _, err := Classic(10, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Classic(3, 3, 1); err == nil {
+		t.Error("n <= m accepted")
+	}
+}
+
+func TestClassicDeterministic(t *testing.T) {
+	a, _ := Classic(200, 2, 7)
+	b, _ := Classic(200, 2, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestClassicScaleFree(t *testing.T) {
+	g, err := Classic(20000, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := stats.FitPowerLaw(g.Degrees(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BA's theoretical exponent is 3; the MLE over a finite graph lands
+	// nearby.
+	if fit.Alpha < 2.2 || fit.Alpha > 3.8 {
+		t.Fatalf("degree exponent = %g, want ~3", fit.Alpha)
+	}
+}
+
+func TestClassicDistinctTargets(t *testing.T) {
+	// Each new vertex must attach to m distinct targets.
+	g, err := Classic(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSrc := map[graph.VertexID]map[graph.VertexID]int{}
+	for _, e := range g.Edges() {
+		if perSrc[e.Src] == nil {
+			perSrc[e.Src] = map[graph.VertexID]int{}
+		}
+		perSrc[e.Src][e.Dst]++
+	}
+	for src, dsts := range perSrc {
+		if int64(src) < 5 {
+			continue // ring seed
+		}
+		for dst, c := range dsts {
+			if c > 1 {
+				t.Fatalf("vertex %d attached %d times to %d", src, c, dst)
+			}
+		}
+	}
+}
+
+func seedGraph() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1})
+	g.AddEdge(graph.Edge{Src: 1, Dst: 2})
+	g.AddEdge(graph.Edge{Src: 2, Dst: 3})
+	g.AddEdge(graph.Edge{Src: 3, Dst: 0})
+	return g
+}
+
+func TestEdgeListGrowReachesTarget(t *testing.T) {
+	g, err := EdgeListGrow(seedGraph(), GrowConfig{TargetEdges: 1000, Fraction: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1000 {
+		t.Fatalf("edges = %d, want exactly 1000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every grown vertex got OutPerVertex=1 edge, so vertices grew by
+	// edges added.
+	if g.NumVertices() != 4+996 {
+		t.Fatalf("vertices = %d, want 1000", g.NumVertices())
+	}
+}
+
+func TestEdgeListGrowValidation(t *testing.T) {
+	if _, err := EdgeListGrow(graph.New(5), GrowConfig{TargetEdges: 10, Fraction: 0.5}); err == nil {
+		t.Error("edgeless seed accepted")
+	}
+	if _, err := EdgeListGrow(seedGraph(), GrowConfig{TargetEdges: 4, Fraction: 0.5}); err == nil {
+		t.Error("target <= seed accepted")
+	}
+	if _, err := EdgeListGrow(seedGraph(), GrowConfig{TargetEdges: 10, Fraction: 0}); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestEdgeListGrowDoesNotMutateSeed(t *testing.T) {
+	s := seedGraph()
+	if _, err := EdgeListGrow(s, GrowConfig{TargetEdges: 100, Fraction: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 4 || s.NumVertices() != 4 {
+		t.Fatal("seed mutated")
+	}
+}
+
+func TestEdgeListGrowPreferentialAttachment(t *testing.T) {
+	// Start from a star: vertex 0 has huge degree. Grown vertices must
+	// attach to 0 far more often than to any single leaf.
+	g := graph.New(11)
+	for i := int64(1); i <= 10; i++ {
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: 0})
+	}
+	grown, err := EdgeListGrow(g, GrowConfig{TargetEdges: 5000, Fraction: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := grown.Degrees()
+	if deg[0] < 3*deg[1] {
+		t.Fatalf("hub degree %d not dominant over leaf %d", deg[0], deg[1])
+	}
+}
+
+func TestEdgeListGrowOutPerVertex(t *testing.T) {
+	g, err := EdgeListGrow(seedGraph(), GrowConfig{TargetEdges: 100, Fraction: 0.5, OutPerVertex: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 100 || g.NumEdges() > 102 {
+		t.Fatalf("edges = %d, want ~100 (may overshoot by <OutPerVertex)", g.NumEdges())
+	}
+	// New vertices have out-degree 3 (except possibly the last batch).
+	out := g.OutDegrees()
+	three := 0
+	for v := int64(4); v < g.NumVertices(); v++ {
+		if out[v] == 3 {
+			three++
+		}
+	}
+	if three == 0 {
+		t.Fatal("no vertex with out-degree 3")
+	}
+}
+
+func TestEdgeListGrowScaleFree(t *testing.T) {
+	g, err := EdgeListGrow(seedGraph(), GrowConfig{TargetEdges: 30000, Fraction: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.SummarizeInt(g.Degrees())
+	if s.Max < 20*s.Median {
+		t.Fatalf("no heavy tail: max %g median %g", s.Max, s.Median)
+	}
+}

@@ -1,0 +1,338 @@
+// Package cluster is the distributed-execution substrate of csb: a
+// Spark-like engine over partitioned in-memory datasets with the operations
+// the paper's generators need (map, filter, sample, distinct, reduce).
+//
+// The paper runs on Apache Spark over 60 physical nodes. This package
+// substitutes that testbed with a two-level model:
+//
+//   - Real execution: every partition task actually runs, on a goroutine
+//     worker pool bounded by MaxParallel (defaults to GOMAXPROCS). Results
+//     are therefore real, not simulated.
+//
+//   - Virtual time: each task's wall time is measured, and every stage's
+//     tasks are placed onto Nodes*CoresPerNode virtual cores by an LPT
+//     (longest processing time first) scheduler. The resulting per-stage
+//     makespans accumulate into Metrics.Makespan, which is the execution
+//     time a cluster of that shape would observe. Strong-scaling studies
+//     (Figure 12) sweep Nodes while the physical host stays fixed.
+//
+// Serial sections (like the global merge of Distinct, Spark's shuffle) are
+// charged to every virtual core, which is what makes speedup curves bend
+// away from ideal exactly as the paper observes for PGSK.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes the (possibly virtual) cluster topology.
+type Config struct {
+	// Nodes is the number of simulated compute nodes.
+	Nodes int
+	// CoresPerNode is the number of cores each simulated node offers.
+	CoresPerNode int
+	// DefaultPartitions is the partition count used when an operation is
+	// asked for 0 partitions. Following the paper's tuning, it defaults to
+	// 2x the total executor cores.
+	DefaultPartitions int
+	// MaxParallel bounds real OS-level parallelism (0 means GOMAXPROCS).
+	MaxParallel int
+	// PlatformOverheadBytes is the fixed per-node memory overhead charged
+	// by the platform (Spark's baseline footprint in the paper, visible as
+	// the flat left region of Figure 11).
+	PlatformOverheadBytes int64
+	// RecordStages keeps a per-stage log in Metrics.StageLog for
+	// performance analysis of generator pipelines.
+	RecordStages bool
+	// ShuffleCoordPerPartition is the serial coordination cost charged per
+	// partition for every shuffle (Distinct): the driver-side bookkeeping
+	// that keeps shuffle-heavy pipelines slightly below ideal speedup as
+	// partition counts grow. Defaults to 300ns — far below a real Spark
+	// driver's, so it bounds rather than dominates.
+	ShuffleCoordPerPartition time.Duration
+}
+
+// StageRecord describes one executed stage for the optional stage log.
+type StageRecord struct {
+	Tasks    int
+	Serial   bool
+	Work     time.Duration // summed task wall time
+	Makespan time.Duration // LPT makespan on the virtual cores
+}
+
+// DefaultPlatformOverheadBytes is the per-node platform overhead used when
+// Config.PlatformOverheadBytes is zero: the paper observes ~10 GB on 512 GB
+// nodes; scaled to laptop-size experiments this is 64 MiB.
+const DefaultPlatformOverheadBytes = 64 << 20
+
+// Metrics accumulates the virtual-time and memory accounting of a cluster.
+type Metrics struct {
+	// Stages is the number of executed stages.
+	Stages int64
+	// Tasks is the number of executed partition tasks.
+	Tasks int64
+	// TotalWork is the summed wall time of all tasks (CPU-seconds of work).
+	TotalWork time.Duration
+	// Makespan is the simulated execution time on Nodes*CoresPerNode cores.
+	Makespan time.Duration
+	// SerialTime is the portion of Makespan spent in serial sections.
+	SerialTime time.Duration
+	// PeakBytesPerNode is the maximum simultaneous dataset footprint
+	// charged to one node (including platform overhead).
+	PeakBytesPerNode int64
+	// StageLog holds per-stage records when Config.RecordStages is set.
+	StageLog []StageRecord
+}
+
+// Cluster executes dataset operations. Create with New; safe for use from a
+// single orchestrating goroutine (the operations themselves parallelize
+// internally).
+type Cluster struct {
+	cfg Config
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// New validates cfg, fills defaults and returns a Cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.CoresPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: CoresPerNode must be positive, got %d", cfg.CoresPerNode)
+	}
+	if cfg.DefaultPartitions == 0 {
+		cfg.DefaultPartitions = 2 * cfg.Nodes * cfg.CoresPerNode
+	}
+	if cfg.DefaultPartitions < 0 {
+		return nil, fmt.Errorf("cluster: DefaultPartitions must be positive")
+	}
+	if cfg.MaxParallel == 0 {
+		cfg.MaxParallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxParallel < 0 {
+		return nil, fmt.Errorf("cluster: MaxParallel must be positive")
+	}
+	if cfg.PlatformOverheadBytes == 0 {
+		cfg.PlatformOverheadBytes = DefaultPlatformOverheadBytes
+	}
+	if cfg.ShuffleCoordPerPartition == 0 {
+		cfg.ShuffleCoordPerPartition = 300 * time.Nanosecond
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Local returns a single-node cluster using up to maxParallel real cores
+// (0 for GOMAXPROCS), the configuration of the single-node experiments.
+func Local(maxParallel int) *Cluster {
+	if maxParallel <= 0 {
+		maxParallel = runtime.GOMAXPROCS(0)
+	}
+	return MustNew(Config{Nodes: 1, CoresPerNode: maxParallel, MaxParallel: maxParallel})
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// VirtualCores returns Nodes * CoresPerNode.
+func (c *Cluster) VirtualCores() int { return c.cfg.Nodes * c.cfg.CoresPerNode }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Cluster) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+// ResetMetrics zeroes the accumulated metrics (e.g. between sweep points).
+func (c *Cluster) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = Metrics{}
+}
+
+// defaultPartitions resolves a requested partition count.
+func (c *Cluster) defaultPartitions(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return c.cfg.DefaultPartitions
+}
+
+// runStage executes nTasks tasks on the real worker pool, measures each, and
+// charges the stage's LPT makespan over the virtual cores.
+func (c *Cluster) runStage(nTasks int, task func(i int)) {
+	c.runStageWeighted(nTasks, nil, task)
+}
+
+// runStageWeighted is runStage with explicit task weights (typically the
+// partition element counts). When weights are given, the stage's summed
+// wall time is apportioned to tasks proportionally to their weights before
+// the LPT placement: total cost stays real and data skew is respected, but
+// per-task timer noise (a GC pause landing inside one microsecond task)
+// no longer distorts the virtual makespan. Without weights, the raw
+// per-task measurements are used.
+func (c *Cluster) runStageWeighted(nTasks int, weights []int64, task func(i int)) {
+	if nTasks == 0 {
+		return
+	}
+	durations := make([]time.Duration, nTasks)
+	workers := c.cfg.MaxParallel
+	if workers > nTasks {
+		workers = nTasks
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, nTasks)
+	for i := 0; i < nTasks; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				task(i)
+				durations[i] = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total time.Duration
+	for _, d := range durations {
+		total += d
+	}
+	if weights != nil && len(weights) == nTasks {
+		var sumW int64
+		for _, w := range weights {
+			sumW += w
+		}
+		if sumW > 0 {
+			for i := range durations {
+				durations[i] = time.Duration(float64(total) * float64(weights[i]) / float64(sumW))
+			}
+		} else {
+			for i := range durations {
+				durations[i] = total / time.Duration(nTasks)
+			}
+		}
+	}
+	span := lptMakespan(durations, c.VirtualCores())
+	c.mu.Lock()
+	c.metrics.Stages++
+	c.metrics.Tasks += int64(nTasks)
+	c.metrics.TotalWork += total
+	c.metrics.Makespan += span
+	if c.cfg.RecordStages {
+		c.metrics.StageLog = append(c.metrics.StageLog,
+			StageRecord{Tasks: nTasks, Work: total, Makespan: span})
+	}
+	c.mu.Unlock()
+}
+
+// runSerial executes fn as a serial section: its wall time is charged to the
+// makespan in full (every virtual core waits), modelling shuffles and
+// driver-side merges.
+func (c *Cluster) runSerial(fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	c.mu.Lock()
+	c.metrics.Stages++
+	c.metrics.Tasks++
+	c.metrics.TotalWork += d
+	c.metrics.Makespan += d
+	c.metrics.SerialTime += d
+	if c.cfg.RecordStages {
+		c.metrics.StageLog = append(c.metrics.StageLog,
+			StageRecord{Tasks: 1, Serial: true, Work: d, Makespan: d})
+	}
+	c.mu.Unlock()
+}
+
+// chargeShuffleCoord charges the serial shuffle-coordination cost for a
+// shuffle over p partitions without executing anything.
+func (c *Cluster) chargeShuffleCoord(p int) {
+	d := time.Duration(p) * c.cfg.ShuffleCoordPerPartition
+	c.mu.Lock()
+	c.metrics.Stages++
+	c.metrics.Makespan += d
+	c.metrics.SerialTime += d
+	if c.cfg.RecordStages {
+		c.metrics.StageLog = append(c.metrics.StageLog,
+			StageRecord{Tasks: 0, Serial: true, Makespan: d})
+	}
+	c.mu.Unlock()
+}
+
+// chargeMemory records the footprint of live bytes spread across the nodes.
+func (c *Cluster) chargeMemory(liveBytes int64) {
+	perNode := liveBytes/int64(c.cfg.Nodes) + c.cfg.PlatformOverheadBytes
+	c.mu.Lock()
+	if perNode > c.metrics.PeakBytesPerNode {
+		c.metrics.PeakBytesPerNode = perNode
+	}
+	c.mu.Unlock()
+}
+
+// lptMakespan assigns task durations to cores longest-first, each to the
+// least-loaded core, and returns the maximum core load — the classic LPT
+// approximation of the optimal schedule.
+func lptMakespan(durations []time.Duration, cores int) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if cores > len(sorted) {
+		cores = len(sorted)
+	}
+	h := make(loadHeap, cores)
+	heap.Init(&h)
+	for _, d := range sorted {
+		h[0] += d
+		heap.Fix(&h, 0)
+	}
+	var maxLoad time.Duration
+	for _, l := range h {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad
+}
+
+// loadHeap is a min-heap of virtual core loads.
+type loadHeap []time.Duration
+
+func (h loadHeap) Len() int            { return len(h) }
+func (h loadHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h loadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *loadHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *loadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+)
+
+// Dataset is a partitioned in-memory collection, the RDD substitute. Values
+// are held in per-partition slices; operations run one task per partition.
+// Datasets are immutable: every operation produces a new Dataset.
+type Dataset[T any] struct {
+	c     *Cluster
+	parts [][]T
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+
+// Cluster returns the executing cluster.
+func (d *Dataset[T]) Cluster() *Cluster { return d.c }
+
+// Count returns the total number of elements.
+func (d *Dataset[T]) Count() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Partition returns partition i (shared storage; read-only).
+func (d *Dataset[T]) Partition(i int) []T { return d.parts[i] }
+
+// bytesOf estimates the memory footprint of a dataset from its element type
+// size; good enough for the Figure 11 accounting.
+func bytesOf[T any](parts [][]T) int64 {
+	var zero T
+	elem := int64(reflect.TypeOf(&zero).Elem().Size())
+	if elem == 0 {
+		elem = 1
+	}
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n * elem
+}
+
+func newDataset[T any](c *Cluster, parts [][]T) *Dataset[T] {
+	d := &Dataset[T]{c: c, parts: parts}
+	c.chargeMemory(bytesOf(parts))
+	return d
+}
+
+// partWeights returns per-partition element counts, the task weights used
+// to apportion stage time (see runStageWeighted).
+func partWeights[T any](parts [][]T) []int64 {
+	w := make([]int64, len(parts))
+	for i, p := range parts {
+		w[i] = int64(len(p))
+	}
+	return w
+}
+
+// Parallelize splits data into partitions distributed over the cluster
+// (partitions <= 0 uses the cluster default). The input slice is not copied;
+// partitions alias its storage.
+func Parallelize[T any](c *Cluster, data []T, partitions int) *Dataset[T] {
+	p := c.defaultPartitions(partitions)
+	if p > len(data) && len(data) > 0 {
+		p = len(data)
+	}
+	if len(data) == 0 {
+		return newDataset(c, make([][]T, 0))
+	}
+	parts := make([][]T, p)
+	chunk := (len(data) + p - 1) / p
+	for i := 0; i < p; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		parts[i] = data[lo:hi]
+	}
+	return newDataset(c, parts)
+}
+
+// Generate creates a dataset of n elements produced by gen, one task per
+// partition, each with its own deterministic RNG derived from seed. It is
+// the parallel-source primitive the generators build on.
+func Generate[T any](c *Cluster, n int64, partitions int, seed uint64, gen func(rng *rand.Rand, emit func(T), count int64)) *Dataset[T] {
+	p := c.defaultPartitions(partitions)
+	if int64(p) > n && n > 0 {
+		p = int(n)
+	}
+	if n == 0 {
+		return newDataset(c, make([][]T, 0))
+	}
+	parts := make([][]T, p)
+	base := n / int64(p)
+	rem := n % int64(p)
+	weights := make([]int64, p)
+	for i := range weights {
+		weights[i] = base
+		if int64(i) < rem {
+			weights[i]++
+		}
+	}
+	c.runStageWeighted(p, weights, func(i int) {
+		count := weights[i]
+		out := make([]T, 0, count)
+		rng := DeriveRNG(seed, uint64(i))
+		gen(rng, func(v T) { out = append(out, v) }, count)
+		parts[i] = out
+	})
+	return newDataset(c, parts)
+}
+
+// Map applies f to every element.
+func Map[T, U any](in *Dataset[T], f func(T) U) *Dataset[U] {
+	parts := make([][]U, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		src := in.parts[i]
+		dst := make([]U, len(src))
+		for j, v := range src {
+			dst[j] = f(v)
+		}
+		parts[i] = dst
+	})
+	return newDataset(in.c, parts)
+}
+
+// MapPartitions applies f to whole partitions, allowing per-partition state
+// (e.g. a partition-local RNG).
+func MapPartitions[T, U any](in *Dataset[T], f func(part int, xs []T) []U) *Dataset[U] {
+	parts := make([][]U, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		parts[i] = f(i, in.parts[i])
+	})
+	return newDataset(in.c, parts)
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](in *Dataset[T], f func(T) []U) *Dataset[U] {
+	parts := make([][]U, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		var dst []U
+		for _, v := range in.parts[i] {
+			dst = append(dst, f(v)...)
+		}
+		parts[i] = dst
+	})
+	return newDataset(in.c, parts)
+}
+
+// Filter keeps elements satisfying pred.
+func Filter[T any](in *Dataset[T], pred func(T) bool) *Dataset[T] {
+	parts := make([][]T, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		var dst []T
+		for _, v := range in.parts[i] {
+			if pred(v) {
+				dst = append(dst, v)
+			}
+		}
+		parts[i] = dst
+	})
+	return newDataset(in.c, parts)
+}
+
+// Sample returns a dataset where each element is kept independently with
+// probability fraction — RDD.sample without replacement, the first stage of
+// the PGPBA preferential attachment. Deterministic in seed.
+func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
+	if fraction < 0 {
+		fraction = 0
+	}
+	parts := make([][]T, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		rng := DeriveRNG(seed, uint64(i))
+		var dst []T
+		for _, v := range in.parts[i] {
+			if fraction >= 1 || rng.Float64() < fraction {
+				dst = append(dst, v)
+			}
+		}
+		parts[i] = dst
+	})
+	return newDataset(in.c, parts)
+}
+
+// Distinct removes duplicates under key — RDD.distinct, used by the PGSK
+// edge generation. It is a two-phase parallel hash shuffle, like Spark's:
+// phase one dedups each partition locally and splits survivors into shard
+// buckets by shard(key); phase two merges and dedups each shard across all
+// partitions. Duplicates always hash to the same shard, so the result is
+// globally distinct. The shard function must be deterministic and must map
+// equal keys to equal values; a short barrier between the phases models the
+// shuffle coordination.
+func Distinct[T any, K comparable](in *Dataset[T], key func(T) K, shard func(K) uint64) *Dataset[T] {
+	p := len(in.parts)
+	if p == 0 {
+		return newDataset(in.c, make([][]T, 0))
+	}
+	// Phase 1: local dedup + bucket split. buckets[i][s] holds partition
+	// i's survivors destined for shard s.
+	buckets := make([][][]T, p)
+	in.c.runStageWeighted(p, partWeights(in.parts), func(i int) {
+		seen := make(map[K]struct{}, len(in.parts[i]))
+		out := make([][]T, p)
+		for _, v := range in.parts[i] {
+			k := key(v)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			s := shard(k) % uint64(p)
+			out[s] = append(out[s], v)
+		}
+		buckets[i] = out
+	})
+	// Shuffle barrier: the driver-side coordination is charged per
+	// partition (Config.ShuffleCoordPerPartition); it is the term that
+	// keeps distinct-heavy pipelines (PGSK) slightly below ideal speedup
+	// as partition counts grow with the cluster.
+	in.c.chargeShuffleCoord(p)
+	shardW := make([]int64, p)
+	for i := 0; i < p; i++ {
+		for s := 0; s < p; s++ {
+			shardW[s] += int64(len(buckets[i][s]))
+		}
+	}
+	merged := make([][]T, p)
+	in.c.runStageWeighted(p, shardW, func(s int) {
+		seen := make(map[K]struct{}, 64)
+		var dst []T
+		for i := 0; i < p; i++ {
+			for _, v := range buckets[i][s] {
+				k := key(v)
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				dst = append(dst, v)
+			}
+		}
+		merged[s] = dst
+	})
+	return newDataset(in.c, merged)
+}
+
+// KV is a key-value pair for the shuffle-based aggregations.
+type KV[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// ReduceByKey aggregates values per key — Spark's reduceByKey, the workhorse
+// of distributed analytics (e.g. summing PageRank contributions per target
+// vertex). Like Distinct it is a two-phase parallel hash shuffle: map-side
+// combine per partition, then per-shard merge, with the coordination charged
+// serially per partition. combine must be associative and commutative.
+func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint64, combine func(a, b V) V) *Dataset[KV[K, V]] {
+	p := len(in.parts)
+	if p == 0 {
+		return newDataset(in.c, make([][]KV[K, V], 0))
+	}
+	// Phase 1: map-side combine + bucket split.
+	buckets := make([][][]KV[K, V], p)
+	in.c.runStageWeighted(p, partWeights(in.parts), func(i int) {
+		local := make(map[K]V, len(in.parts[i]))
+		for _, kv := range in.parts[i] {
+			if v, ok := local[kv.Key]; ok {
+				local[kv.Key] = combine(v, kv.Val)
+			} else {
+				local[kv.Key] = kv.Val
+			}
+		}
+		out := make([][]KV[K, V], p)
+		for k, v := range local {
+			s := shard(k) % uint64(p)
+			out[s] = append(out[s], KV[K, V]{Key: k, Val: v})
+		}
+		buckets[i] = out
+	})
+	in.c.chargeShuffleCoord(p)
+	shardW := make([]int64, p)
+	for i := 0; i < p; i++ {
+		for s := 0; s < p; s++ {
+			shardW[s] += int64(len(buckets[i][s]))
+		}
+	}
+	// Phase 2: per-shard reduce.
+	merged := make([][]KV[K, V], p)
+	in.c.runStageWeighted(p, shardW, func(s int) {
+		acc := make(map[K]V, 64)
+		for i := 0; i < p; i++ {
+			for _, kv := range buckets[i][s] {
+				if v, ok := acc[kv.Key]; ok {
+					acc[kv.Key] = combine(v, kv.Val)
+				} else {
+					acc[kv.Key] = kv.Val
+				}
+			}
+		}
+		out := make([]KV[K, V], 0, len(acc))
+		for k, v := range acc {
+			out = append(out, KV[K, V]{Key: k, Val: v})
+		}
+		merged[s] = out
+	})
+	return newDataset(in.c, merged)
+}
+
+// Reduce folds all elements with combine, which must be associative and
+// commutative; id is the identity element. Partitions reduce in parallel,
+// then partials fold serially.
+func Reduce[T any](in *Dataset[T], id T, combine func(a, b T) T) T {
+	partials := make([]T, len(in.parts))
+	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+		acc := id
+		for _, v := range in.parts[i] {
+			acc = combine(acc, v)
+		}
+		partials[i] = acc
+	})
+	acc := id
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Collect concatenates all partitions into one slice.
+func Collect[T any](in *Dataset[T]) []T {
+	out := make([]T, 0, in.Count())
+	for _, p := range in.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Union concatenates two datasets partition-wise (no data movement).
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	parts := make([][]T, 0, len(a.parts)+len(b.parts))
+	parts = append(parts, a.parts...)
+	parts = append(parts, b.parts...)
+	return newDataset(a.c, parts)
+}
+
+// Repartition redistributes elements into p balanced partitions.
+func Repartition[T any](in *Dataset[T], p int) *Dataset[T] {
+	return Parallelize(in.c, Collect(in), p)
+}
+
+// Coalesce reduces the partition count to at most p, one measured parallel
+// task per output partition. Input partitions are packed into output bins
+// largest-first onto the least-loaded bin, so the result is weight balanced
+// even when a Union chain mixed tiny and huge partitions — unbalanced output
+// would skew every downstream stage's makespan. Union chains grow the
+// partition count unboundedly; the generators coalesce periodically so
+// per-task scheduling overhead stays amortized (Spark's coalesce/repartition
+// role).
+func Coalesce[T any](in *Dataset[T], p int) *Dataset[T] {
+	if p < 1 {
+		p = 1
+	}
+	if len(in.parts) <= p {
+		return in
+	}
+	// LPT bin packing of input partitions into p output bins.
+	order := make([]int, len(in.parts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := len(in.parts[order[a]]), len(in.parts[order[b]])
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, p)
+	loads := make([]int64, p)
+	for _, i := range order {
+		best := 0
+		for j := 1; j < p; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		groups[best] = append(groups[best], i)
+		loads[best] += int64(len(in.parts[i]))
+	}
+	// Concatenate each group's members in input order (deterministic).
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	parts := make([][]T, p)
+	in.c.runStageWeighted(p, loads, func(j int) {
+		dst := make([]T, 0, loads[j])
+		for _, i := range groups[j] {
+			dst = append(dst, in.parts[i]...)
+		}
+		parts[j] = dst
+	})
+	return newDataset(in.c, parts)
+}
+
+// DeriveRNG returns a deterministic PCG stream for (seed, stream); every
+// partition task derives its own so results are reproducible regardless of
+// scheduling.
+func DeriveRNG(seed, stream uint64) *rand.Rand {
+	// SplitMix64 finalizer decorrelates the stream keys.
+	z := stream + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewPCG(seed, z))
+}

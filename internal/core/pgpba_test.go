@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"csb/internal/cluster"
+	"csb/internal/graph"
+	"csb/internal/stats"
+)
+
+func TestPGPBAValidation(t *testing.T) {
+	s := traceSeed(t, 10, 100, 1)
+	cases := []struct {
+		name string
+		gen  PGPBA
+		size int64
+	}{
+		{"zero fraction", PGPBA{Fraction: 0}, 10000},
+		{"negative fraction", PGPBA{Fraction: -1}, 10000},
+		{"size below seed", PGPBA{Fraction: 0.1}, 1},
+	}
+	for _, c := range cases {
+		if _, err := c.gen.Generate(s, c.size); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	var empty PGPBA
+	if _, err := empty.Generate(nil, 10); err == nil {
+		t.Error("nil seed accepted")
+	}
+}
+
+func TestPGPBAGrowsToDesiredSize(t *testing.T) {
+	s := traceSeed(t, 20, 300, 2)
+	gen := PGPBA{Fraction: 0.3, Seed: 7}
+	g, err := gen.Generate(s, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 5000 {
+		t.Fatalf("edges = %d, want >= 5000", g.NumEdges())
+	}
+	// Probabilistic overshoot is expected but bounded: one round adds about
+	// fraction*|E|*(meanIn+meanOut).
+	bound := int64(float64(5000) * (1 + 0.3*(s.InDegree.Mean()+s.OutDegree.Mean())))
+	if g.NumEdges() > bound {
+		t.Fatalf("edges = %d, overshoot beyond bound %d", g.NumEdges(), bound)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() <= s.Graph.NumVertices() {
+		t.Fatal("no vertices added")
+	}
+}
+
+func TestPGPBADeterministic(t *testing.T) {
+	s := traceSeed(t, 15, 200, 3)
+	gen := PGPBA{Fraction: 0.5, Seed: 9}
+	a, err := gen.Generate(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Generate(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() || a.NumVertices() != b.NumVertices() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for i := range a.Edges() {
+		if a.Edges()[i] != b.Edges()[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestPGPBAAssignsProperties(t *testing.T) {
+	s := traceSeed(t, 15, 200, 4)
+	g, err := (&PGPBA{Fraction: 0.5, Seed: 11}).Generate(s, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range g.Edges() {
+		if e.Props.Protocol == graph.ProtoUnknown {
+			t.Fatalf("edge %d has no protocol", i)
+		}
+		if e.Props.OutPkts == 0 && e.Props.InPkts == 0 {
+			t.Fatalf("edge %d has empty packet counters", i)
+		}
+	}
+}
+
+func TestPGPBASkipProperties(t *testing.T) {
+	s := traceSeed(t, 15, 200, 5)
+	g, err := (&PGPBA{Fraction: 0.5, Seed: 12, SkipProperties: true}).Generate(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grown edges carry zero properties when synthesis is skipped.
+	zero := 0
+	for _, e := range g.Edges() {
+		if e.Props == (graph.EdgeProps{}) {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatal("SkipProperties still assigned properties")
+	}
+}
+
+func TestPGPBAFractionTwo(t *testing.T) {
+	// The paper's Figure 9 configuration: fraction = 2 (with-replacement
+	// sampling of the edge list).
+	s := traceSeed(t, 15, 200, 6)
+	g, err := (&PGPBA{Fraction: 2, Seed: 13}).Generate(s, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 20000 {
+		t.Fatalf("edges = %d, want >= 20000", g.NumEdges())
+	}
+}
+
+func TestPGPBAHeavyTailDegrees(t *testing.T) {
+	s := traceSeed(t, 30, 500, 7)
+	g, err := (&PGPBA{Fraction: 0.1, Seed: 14}).Generate(s, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := stats.SummarizeInt(g.Degrees())
+	if sum.Max < 10*sum.Median {
+		t.Fatalf("no heavy tail: max %g median %g", sum.Max, sum.Median)
+	}
+}
+
+func TestPGPBAVeracityAgainstSeed(t *testing.T) {
+	s := traceSeed(t, 30, 500, 8)
+	g, err := (&PGPBA{Fraction: 0.1, Seed: 15}).Generate(s, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := stats.VeracityScoreInt(s.Graph.Degrees(), g.Degrees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 1e-3 {
+		t.Fatalf("degree veracity score = %g, want small", score)
+	}
+}
+
+func TestPGPBAOnExplicitCluster(t *testing.T) {
+	s := traceSeed(t, 15, 200, 9)
+	c := cluster.MustNew(cluster.Config{Nodes: 4, CoresPerNode: 2, DefaultPartitions: 8})
+	g, err := (&PGPBA{Fraction: 0.5, Seed: 16, Cluster: c}).Generate(s, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 3000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	m := c.Metrics()
+	if m.Stages == 0 || m.Tasks == 0 {
+		t.Fatalf("cluster not exercised: %+v", m)
+	}
+}
+
+func TestSampleWithReplacementFractions(t *testing.T) {
+	c := cluster.Local(2)
+	edges := make([]graph.Edge, 1000)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i % 10), Dst: graph.VertexID((i + 1) % 10)}
+	}
+	ds := cluster.Parallelize(c, edges, 4)
+	if n := sampleWithReplacement(ds, 2, 1).Count(); n != 2000 {
+		t.Errorf("fraction 2 sampled %d, want 2000", n)
+	}
+	n := sampleWithReplacement(ds, 0.25, 1).Count()
+	if n < 150 || n > 350 {
+		t.Errorf("fraction 0.25 sampled %d, want ~250", n)
+	}
+}
+
+func TestPartitionOffsets(t *testing.T) {
+	c := cluster.Local(2)
+	ds := cluster.Parallelize(c, make([]int, 10), 3)
+	off := partitionOffsets(ds)
+	want := []int64{0, 4, 8} // chunks of ceil(10/3)=4: 4,4,2
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", off, want)
+		}
+	}
+}
+
+func TestPGPBASpreadAttachmentReducesHubConcentration(t *testing.T) {
+	s := traceSeed(t, 30, 500, 20)
+	clumped, err := (&PGPBA{Fraction: 0.3, Seed: 21}).Generate(s, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := (&PGPBA{Fraction: 0.3, Seed: 21, SpreadAttachment: true}).Generate(s, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spread.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *graph.Graph) int64 {
+		var m int64
+		for _, d := range g.Degrees() {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	// Re-sampling destinations per edge spreads attachment mass: the top
+	// hub must shrink versus the paper's single-destination variant.
+	if maxDeg(spread) >= maxDeg(clumped) {
+		t.Fatalf("spread hub %d not below clumped hub %d", maxDeg(spread), maxDeg(clumped))
+	}
+	// Both variants stay scale-free.
+	sum := stats.SummarizeInt(spread.Degrees())
+	if sum.Max < 5*sum.Median {
+		t.Fatalf("spread variant lost its tail: %+v", sum)
+	}
+}

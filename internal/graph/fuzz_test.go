@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzRead asserts the CSBG reader never panics, and that any graph it
+// accepts passes validation and survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := randomGraph(rng, 8, 20)
+	g.SetAddr(0, 0x0a000001)
+	var buf bytes.Buffer
+	_ = g.Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:30])
+	f.Add([]byte("CSBG"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if again.NumVertices() != got.NumVertices() || again.NumEdges() != got.NumEdges() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary graph container format ("CSBG"): a small self-describing format so
+// generated graphs can be persisted and reloaded by the CLI tools without
+// depending on anything outside the standard library.
+//
+//	magic     [4]byte  "CSBG"
+//	version   uint32   (1)
+//	flags     uint32   bit0: address table present
+//	vertices  int64
+//	edges     int64
+//	[addrs]   vertices * uint32
+//	edge records, each:
+//	  src, dst           int64
+//	  protocol, state    uint8
+//	  srcPort, dstPort   uint16
+//	  duration           int64 (ms)
+//	  outBytes, inBytes  int64
+//	  outPkts, inPkts    int64
+
+var magic = [4]byte{'C', 'S', 'B', 'G'}
+
+const (
+	formatVersion  = 1
+	flagAddrs      = 1 << 0
+	edgeRecordSize = 8 + 8 + 1 + 1 + 2 + 2 + 8 + 8 + 8 + 8 + 8
+)
+
+// Write serializes the graph in CSBG format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.addrs != nil {
+		flags |= flagAddrs
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], flags)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.numVertices))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(g.edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if g.addrs != nil {
+		var b [4]byte
+		for _, a := range g.addrs {
+			binary.LittleEndian.PutUint32(b[:], a)
+			if _, err := bw.Write(b[:]); err != nil {
+				return err
+			}
+		}
+	}
+	var rec [edgeRecordSize]byte
+	for i := range g.edges {
+		encodeEdge(&g.edges[i], rec[:])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEdge(e *Edge, rec []byte) {
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Src))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(e.Dst))
+	rec[16] = byte(e.Props.Protocol)
+	rec[17] = byte(e.Props.State)
+	binary.LittleEndian.PutUint16(rec[18:20], e.Props.SrcPort)
+	binary.LittleEndian.PutUint16(rec[20:22], e.Props.DstPort)
+	binary.LittleEndian.PutUint64(rec[22:30], uint64(e.Props.Duration))
+	binary.LittleEndian.PutUint64(rec[30:38], uint64(e.Props.OutBytes))
+	binary.LittleEndian.PutUint64(rec[38:46], uint64(e.Props.InBytes))
+	binary.LittleEndian.PutUint64(rec[46:54], uint64(e.Props.OutPkts))
+	binary.LittleEndian.PutUint64(rec[54:62], uint64(e.Props.InPkts))
+}
+
+func decodeEdge(rec []byte) Edge {
+	var e Edge
+	e.Src = VertexID(binary.LittleEndian.Uint64(rec[0:8]))
+	e.Dst = VertexID(binary.LittleEndian.Uint64(rec[8:16]))
+	e.Props.Protocol = Protocol(rec[16])
+	e.Props.State = TCPState(rec[17])
+	e.Props.SrcPort = binary.LittleEndian.Uint16(rec[18:20])
+	e.Props.DstPort = binary.LittleEndian.Uint16(rec[20:22])
+	e.Props.Duration = int64(binary.LittleEndian.Uint64(rec[22:30]))
+	e.Props.OutBytes = int64(binary.LittleEndian.Uint64(rec[30:38]))
+	e.Props.InBytes = int64(binary.LittleEndian.Uint64(rec[38:46]))
+	e.Props.OutPkts = int64(binary.LittleEndian.Uint64(rec[46:54]))
+	e.Props.InPkts = int64(binary.LittleEndian.Uint64(rec[54:62]))
+	return e
+}
+
+// Read deserializes a CSBG graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m[:])
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != formatVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[4:8])
+	nv := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	ne := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	if nv < 0 || ne < 0 {
+		return nil, fmt.Errorf("graph: corrupt header (vertices=%d edges=%d)", nv, ne)
+	}
+	// Never pre-allocate from untrusted header counts: a corrupt 24-byte
+	// header must not be able to demand terabytes. Grow incrementally with
+	// a bounded initial capacity instead.
+	const maxPrealloc = 1 << 20
+	g := NewWithCapacity(nv, min(ne, maxPrealloc))
+	if flags&flagAddrs != 0 {
+		g.addrs = make([]uint32, 0, min(nv, maxPrealloc))
+		var b [4]byte
+		for i := int64(0); i < nv; i++ {
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return nil, fmt.Errorf("graph: reading address table: %w", err)
+			}
+			g.addrs = append(g.addrs, binary.LittleEndian.Uint32(b[:]))
+		}
+	}
+	var rec [edgeRecordSize]byte
+	for i := int64(0); i < ne; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		g.edges = append(g.edges, decodeEdge(rec[:]))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes a human-readable tab-separated edge list with a header
+// row, one flow edge per line.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintln(bw, "src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate"); err != nil {
+		return err
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		_, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			e.Src, e.Dst, e.Props.Protocol, e.Props.SrcPort, e.Props.DstPort,
+			e.Props.Duration, e.Props.OutBytes, e.Props.InBytes, e.Props.OutPkts, e.Props.InPkts, e.Props.State)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,305 @@
+package ids
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"csb/internal/graph"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+func backgroundFlows(t testing.TB, hosts, sessions int, seed uint64) []netflow.Flow {
+	t.Helper()
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(hosts, sessions, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netflow.Assemble(pkts, 0)
+}
+
+func TestAggregatePatternsBasic(t *testing.T) {
+	flows := []netflow.Flow{
+		{SrcIP: 1, DstIP: 10, DstPort: 80, OutBytes: 100, OutPkts: 2, SYNCount: 1, ACKCount: 3},
+		{SrcIP: 2, DstIP: 10, DstPort: 443, OutBytes: 50, InBytes: 50, OutPkts: 1, InPkts: 1},
+		{SrcIP: 1, DstIP: 20, DstPort: 80, OutBytes: 10, OutPkts: 1},
+	}
+	byDst, bySrc := AggregatePatterns(flows)
+	if len(byDst) != 2 || len(bySrc) != 2 {
+		t.Fatalf("patterns: %d byDst %d bySrc", len(byDst), len(bySrc))
+	}
+	// byDst sorted by IP: 10 first.
+	p := byDst[0]
+	if p.IP != 10 || !p.ByDst {
+		t.Fatalf("pattern = %+v", p)
+	}
+	if p.NFlows != 2 || p.DistinctPeers != 2 || p.DistinctPorts != 2 {
+		t.Fatalf("dst pattern counts: %+v", p)
+	}
+	if p.SumFlowSize != 200 || p.SumPackets != 4 {
+		t.Fatalf("dst pattern sums: %+v", p)
+	}
+	if p.SYN != 1 || p.ACK != 3 {
+		t.Fatalf("dst pattern flags: %+v", p)
+	}
+	// bySrc: IP 1 has flows to 10 and 20.
+	s := bySrc[0]
+	if s.IP != 1 || s.ByDst || s.NFlows != 2 || s.DistinctPeers != 2 || s.DistinctPorts != 1 {
+		t.Fatalf("src pattern: %+v", s)
+	}
+}
+
+func TestPatternAverages(t *testing.T) {
+	p := Pattern{NFlows: 4, SumFlowSize: 100, SumPackets: 8, SYN: 4, ACK: 1}
+	if p.AvgFlowSize() != 25 || p.AvgPackets() != 2 {
+		t.Fatalf("averages: %g %g", p.AvgFlowSize(), p.AvgPackets())
+	}
+	if p.AckSynRatio() != 0.25 {
+		t.Fatalf("ratio = %g", p.AckSynRatio())
+	}
+	var z Pattern
+	if z.AvgFlowSize() != 0 || z.AvgPackets() != 0 {
+		t.Fatal("zero pattern averages nonzero")
+	}
+	if z.AckSynRatio() != 1 {
+		t.Fatal("no-SYN ratio should be neutral 1")
+	}
+}
+
+func TestNoAlertsOnNormalTraffic(t *testing.T) {
+	flows := backgroundFlows(t, 40, 600, 1)
+	det := NewDetector(TrainThresholds(flows, 0.99, 2))
+	alerts := det.Detect(flows)
+	// Trained thresholds on the very same traffic must be (nearly) silent.
+	if len(alerts) > 2 {
+		t.Fatalf("%d false alarms on normal traffic: %v", len(alerts), alerts)
+	}
+}
+
+// synthetic attack helpers (kept local to avoid an import cycle with the
+// attack package, which imports ids).
+
+func hostScanFlows(victim uint32, n int) []netflow.Flow {
+	out := make([]netflow.Flow, n)
+	for i := range out {
+		out[i] = netflow.Flow{
+			SrcIP: 0xbad00001, DstIP: victim, Protocol: graph.ProtoTCP,
+			SrcPort: uint16(30000 + i), DstPort: uint16(i + 1),
+			OutBytes: 40, OutPkts: 1, State: graph.StateS0, SYNCount: 1,
+		}
+	}
+	return out
+}
+
+func synFloodFlows(victim uint32, n int) []netflow.Flow {
+	out := make([]netflow.Flow, n)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range out {
+		out[i] = netflow.Flow{
+			SrcIP: 0xc0000000 | rng.Uint32()&0xffff, DstIP: victim, Protocol: graph.ProtoTCP,
+			SrcPort: uint16(1024 + i), DstPort: 80,
+			OutBytes: 40, OutPkts: 1, State: graph.StateS0, SYNCount: 1,
+		}
+	}
+	return out
+}
+
+func networkScanFlows(attacker uint32, n int) []netflow.Flow {
+	out := make([]netflow.Flow, n)
+	for i := range out {
+		out[i] = netflow.Flow{
+			SrcIP: attacker, DstIP: 0x0a010000 | uint32(i+1), Protocol: graph.ProtoTCP,
+			SrcPort: uint16(30000 + i), DstPort: 22,
+			OutBytes: 40, OutPkts: 1, State: graph.StateS0, SYNCount: 1,
+		}
+	}
+	return out
+}
+
+func floodFlows(attacker, victim uint32, n int) []netflow.Flow {
+	out := make([]netflow.Flow, n)
+	for i := range out {
+		out[i] = netflow.Flow{
+			SrcIP: attacker, DstIP: victim, Protocol: graph.ProtoUDP,
+			SrcPort: uint16(1024 + i), DstPort: 80,
+			OutBytes: 800_000, OutPkts: 900,
+		}
+	}
+	return out
+}
+
+func ddosFlows(victim uint32, sources, per int) []netflow.Flow {
+	var out []netflow.Flow
+	for s := 0; s < sources; s++ {
+		a := 0xd0000000 | uint32(s+1)
+		out = append(out, floodFlows(a, victim, per)...)
+	}
+	return out
+}
+
+func detectTypes(t *testing.T, flows []netflow.Flow) map[AttackType][]Alert {
+	t.Helper()
+	det := NewDetector(DefaultThresholds())
+	byType := map[AttackType][]Alert{}
+	for _, a := range det.Detect(flows) {
+		byType[a.Type] = append(byType[a.Type], a)
+	}
+	return byType
+}
+
+func TestDetectHostScan(t *testing.T) {
+	victim := uint32(0x0a000005)
+	byType := detectTypes(t, hostScanFlows(victim, 200))
+	hs := byType[AttackHostScan]
+	if len(hs) != 1 || hs[0].IP != victim || !hs[0].ByDst {
+		t.Fatalf("host scan not detected: %v", byType)
+	}
+}
+
+func TestDetectSYNFlood(t *testing.T) {
+	victim := uint32(0x0a000006)
+	byType := detectTypes(t, synFloodFlows(victim, 300))
+	sf := byType[AttackSYNFlood]
+	if len(sf) != 1 || sf[0].IP != victim {
+		t.Fatalf("SYN flood not detected: %v", byType)
+	}
+}
+
+func TestDetectNetworkScan(t *testing.T) {
+	attacker := uint32(0x0bad0001)
+	byType := detectTypes(t, networkScanFlows(attacker, 150))
+	ns := byType[AttackNetworkScan]
+	if len(ns) != 1 || ns[0].IP != attacker || ns[0].ByDst {
+		t.Fatalf("network scan not detected: %v", byType)
+	}
+}
+
+func TestDetectFlood(t *testing.T) {
+	victim := uint32(0x0a000007)
+	byType := detectTypes(t, floodFlows(0x0bad0002, victim, 10))
+	fl := byType[AttackFlood]
+	if len(fl) != 1 || fl[0].IP != victim {
+		t.Fatalf("flood not detected: %v", byType)
+	}
+	if len(byType[AttackDDoS]) != 0 {
+		t.Fatal("single-source flood misclassified as DDoS")
+	}
+}
+
+func TestDetectDDoS(t *testing.T) {
+	victim := uint32(0x0a000008)
+	byType := detectTypes(t, ddosFlows(victim, 30, 3))
+	dd := byType[AttackDDoS]
+	if len(dd) != 1 || dd[0].IP != victim {
+		t.Fatalf("DDoS not detected: %v", byType)
+	}
+}
+
+func TestDetectAttacksBuriedInBackground(t *testing.T) {
+	flows := backgroundFlows(t, 40, 600, 2)
+	victim := pcap.HostIP(3)
+	flows = append(flows, hostScanFlows(victim, 1500)...)
+	det := NewDetector(TrainThresholds(backgroundFlows(t, 40, 600, 3), 0.99, 2))
+	var found bool
+	for _, a := range det.Detect(flows) {
+		if a.Type == AttackHostScan && a.IP == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("host scan not found in mixed traffic")
+	}
+}
+
+func TestDetectGraphPath(t *testing.T) {
+	// Detection through the property-graph representation: build a graph
+	// from attack flows and detect on the graph.
+	g := netflow.BuildGraph(hostScanFlows(0x0a000009, 200))
+	det := NewDetector(DefaultThresholds())
+	alerts := det.DetectGraph(g)
+	var found bool
+	for _, a := range alerts {
+		if a.Type == AttackHostScan {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("graph-path detection failed: %v", alerts)
+	}
+}
+
+func TestAttackTypeStrings(t *testing.T) {
+	want := map[AttackType]string{
+		AttackNone: "none", AttackHostScan: "host-scan", AttackNetworkScan: "network-scan",
+		AttackSYNFlood: "syn-flood", AttackFlood: "flood", AttackDDoS: "ddos",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{Type: AttackHostScan, IP: 0x0a000001, ByDst: true, Pattern: Pattern{NFlows: 5}}
+	s := a.String()
+	if s == "" || a.Type.String() != "host-scan" {
+		t.Fatalf("alert string %q", s)
+	}
+}
+
+func TestTrainThresholdsDefaultsOnBadArgs(t *testing.T) {
+	flows := backgroundFlows(t, 10, 100, 4)
+	tr := TrainThresholds(flows, -1, -1) // invalid => internal defaults
+	if tr.NFT <= 0 || tr.FSHT <= 0 {
+		t.Fatalf("trained thresholds degenerate: %+v", tr)
+	}
+}
+
+func TestAggregateGraphMatchesFlowPath(t *testing.T) {
+	// Both aggregation paths over the same graph must produce identical
+	// pattern tables.
+	flows := backgroundFlows(t, 30, 400, 17)
+	flows = append(flows, hostScanFlows(0x0a000003, 300)...)
+	g := netflow.BuildGraph(flows)
+
+	gd, gs := AggregateGraph(g)
+	fd, fs := AggregatePatterns(netflow.FlowsFromGraph(g))
+	compare := func(name string, a, b []Pattern) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d patterns", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s pattern %d differs:\n graph %+v\n flows %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+	compare("byDst", gd, fd)
+	compare("bySrc", gs, fs)
+}
+
+func TestDetectGraphDirectMatchesDetectGraph(t *testing.T) {
+	flows := backgroundFlows(t, 30, 400, 18)
+	flows = append(flows, hostScanFlows(0x0a000004, 1500)...)
+	flows = append(flows, synFloodFlows(0x0a000005, 2500)...)
+	g := netflow.BuildGraph(flows)
+	det := NewDetector(DefaultThresholds())
+	a := det.DetectGraph(g)
+	b := det.DetectGraphDirect(g)
+	if len(a) != len(b) {
+		t.Fatalf("alert counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].IP != b[i].IP || a[i].ByDst != b[i].ByDst {
+			t.Fatalf("alert %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAggregateGraphEmpty(t *testing.T) {
+	d, s := AggregateGraph(graph.New(0))
+	if d != nil || s != nil {
+		t.Fatal("empty graph produced patterns")
+	}
+}

@@ -1,0 +1,98 @@
+package ids
+
+import (
+	"csb/internal/netflow"
+)
+
+// StreamDetector is the on-line form of the anomaly detector — the paper's
+// stated future work ("on-line intrusion detection with streaming data").
+// Flows arrive in start-time order; they are aggregated into tumbling
+// windows, and when a window closes its traffic patterns run through the
+// same Figure 4 decision flow as the off-line detector. Consecutive
+// duplicate alerts (same attack class and detection IP in back-to-back
+// windows) are suppressed so a long-running attack raises one alert when it
+// starts and a fresh one only if it pauses and resumes.
+type StreamDetector struct {
+	det    *Detector
+	window int64 // window length, microseconds
+	sink   func(Alert)
+
+	start   int64 // current window start (0 before the first flow)
+	started bool
+	flows   []netflow.Flow
+
+	// lastFired maps (IP, type, byDst) to the window index of the most
+	// recent alert, for consecutive-window suppression.
+	lastFired map[streamKey]int64
+	windowIdx int64
+}
+
+type streamKey struct {
+	ip    uint32
+	typ   AttackType
+	byDst bool
+}
+
+// DefaultStreamWindowMicros is one minute, a common flow-monitoring cadence.
+const DefaultStreamWindowMicros = 60 * 1e6
+
+// NewStreamDetector builds a streaming detector with the given thresholds
+// and tumbling window length in microseconds (0 selects the default).
+// Alerts are delivered synchronously to sink as windows close.
+func NewStreamDetector(t Thresholds, windowMicros int64, sink func(Alert)) *StreamDetector {
+	if windowMicros <= 0 {
+		windowMicros = DefaultStreamWindowMicros
+	}
+	return &StreamDetector{
+		det:       NewDetector(t),
+		window:    windowMicros,
+		sink:      sink,
+		lastFired: make(map[streamKey]int64),
+	}
+}
+
+// Add feeds one flow. Flows must arrive in non-decreasing StartMicros
+// order (the order a flow exporter emits them); a flow starting past the
+// current window closes it first.
+func (s *StreamDetector) Add(f netflow.Flow) {
+	if !s.started {
+		s.start = f.StartMicros
+		s.started = true
+	}
+	for f.StartMicros >= s.start+s.window {
+		s.closeWindow()
+		s.start += s.window
+		s.windowIdx++
+	}
+	s.flows = append(s.flows, f)
+}
+
+// Flush closes the current window, emitting any pending alerts. Call once
+// at end of stream.
+func (s *StreamDetector) Flush() {
+	s.closeWindow()
+	s.windowIdx++
+}
+
+// closeWindow classifies the buffered flows and emits non-suppressed alerts.
+func (s *StreamDetector) closeWindow() {
+	if len(s.flows) == 0 {
+		return
+	}
+	alerts := s.det.Detect(s.flows)
+	s.flows = s.flows[:0]
+	for _, a := range alerts {
+		k := streamKey{ip: a.IP, typ: a.Type, byDst: a.ByDst}
+		if last, ok := s.lastFired[k]; ok && last == s.windowIdx-1 {
+			// Continuation of an already-reported attack: refresh the
+			// suppression horizon without re-alerting.
+			s.lastFired[k] = s.windowIdx
+			continue
+		}
+		s.lastFired[k] = s.windowIdx
+		s.sink(a)
+	}
+}
+
+// Pending returns the number of flows buffered in the open window.
+func (s *StreamDetector) Pending() int { return len(s.flows) }

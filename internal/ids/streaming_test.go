@@ -1,0 +1,143 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+
+	"csb/internal/netflow"
+)
+
+// streamScan builds host-scan probes with start times spread over a span.
+func streamScan(victim uint32, n int, startMicros, spanMicros int64) []netflow.Flow {
+	flows := hostScanFlows(victim, n)
+	for i := range flows {
+		flows[i].StartMicros = startMicros + int64(i)*spanMicros/int64(n)
+		flows[i].EndMicros = flows[i].StartMicros + 1000
+	}
+	return flows
+}
+
+func collectAlerts(t *testing.T, window int64, flows []netflow.Flow) []Alert {
+	t.Helper()
+	sort.Slice(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	var alerts []Alert
+	s := NewStreamDetector(DefaultThresholds(), window, func(a Alert) { alerts = append(alerts, a) })
+	for _, f := range flows {
+		s.Add(f)
+	}
+	s.Flush()
+	return alerts
+}
+
+func TestStreamDetectsAttackInWindow(t *testing.T) {
+	// 300 probes within one minute: one alert at window close.
+	flows := streamScan(0x0a000001, 300, 0, 30*1e6)
+	alerts := collectAlerts(t, 60*1e6, flows)
+	if len(alerts) != 1 || alerts[0].Type != AttackHostScan || alerts[0].IP != 0x0a000001 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestStreamQuietTrafficNoAlerts(t *testing.T) {
+	flows := backgroundFlows(t, 30, 300, 9)
+	tr := TrainThresholds(flows, 0.99, 2)
+	var alerts []Alert
+	s := NewStreamDetector(tr, 60*1e6, func(a Alert) { alerts = append(alerts, a) })
+	sort.Slice(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	for _, f := range flows {
+		s.Add(f)
+	}
+	s.Flush()
+	if len(alerts) > 2 {
+		t.Fatalf("%d alerts on clean traffic", len(alerts))
+	}
+}
+
+func TestStreamSuppressesContinuation(t *testing.T) {
+	// An attack spanning 3 consecutive windows alerts once.
+	var flows []netflow.Flow
+	for w := int64(0); w < 3; w++ {
+		flows = append(flows, streamScan(0x0a000002, 300, w*60*1e6, 50*1e6)...)
+	}
+	alerts := collectAlerts(t, 60*1e6, flows)
+	if len(alerts) != 1 {
+		t.Fatalf("continuation not suppressed: %d alerts", len(alerts))
+	}
+}
+
+func TestStreamReAlertsAfterGap(t *testing.T) {
+	// Attack in window 0, silence in windows 1-2, attack again in window 3:
+	// two alerts.
+	var flows []netflow.Flow
+	flows = append(flows, streamScan(0x0a000003, 300, 0, 50*1e6)...)
+	// One benign keep-alive flow per quiet window so windows advance.
+	flows = append(flows, netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 70 * 1e6, EndMicros: 70*1e6 + 1000, OutPkts: 1, OutBytes: 100})
+	flows = append(flows, netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 130 * 1e6, EndMicros: 130*1e6 + 1000, OutPkts: 1, OutBytes: 100})
+	flows = append(flows, streamScan(0x0a000003, 300, 3*60*1e6, 50*1e6)...)
+	alerts := collectAlerts(t, 60*1e6, flows)
+	if len(alerts) != 2 {
+		t.Fatalf("gap re-alert failed: %d alerts (%v)", len(alerts), alerts)
+	}
+}
+
+func TestStreamAttackBelowWindowThresholdSplit(t *testing.T) {
+	// The same probe volume diluted over many windows falls below the
+	// per-window flow threshold: the streaming detector's window length is
+	// a sensitivity knob.
+	flows := streamScan(0x0a000004, 300, 0, 50*60*1e6) // 6 probes per minute
+	alerts := collectAlerts(t, 60*1e6, flows)
+	if len(alerts) != 0 {
+		t.Fatalf("slow scan unexpectedly detected: %v", alerts)
+	}
+	// A longer window catches it again.
+	alerts = collectAlerts(t, 60*60*1e6, flows)
+	if len(alerts) != 1 {
+		t.Fatalf("hour window missed the scan: %v", alerts)
+	}
+}
+
+func TestStreamFlushIdempotentAndPending(t *testing.T) {
+	var alerts []Alert
+	s := NewStreamDetector(DefaultThresholds(), 0, func(a Alert) { alerts = append(alerts, a) })
+	if s.window != DefaultStreamWindowMicros {
+		t.Fatalf("default window = %d", s.window)
+	}
+	for _, f := range streamScan(0x0a000005, 300, 0, 30*1e6) {
+		s.Add(f)
+	}
+	if s.Pending() != 300 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Flush()
+	s.Flush() // second flush is a no-op
+	if s.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", s.Pending())
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d", len(alerts))
+	}
+}
+
+func TestStreamMatchesOfflineOnSingleWindow(t *testing.T) {
+	// With one giant window, streaming must reproduce offline detection.
+	flows := backgroundFlows(t, 30, 300, 10)
+	flows = append(flows, streamScan(0x0a000006, 1500, flows[0].StartMicros, 1e6)...)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	tr := TrainThresholds(backgroundFlows(t, 30, 300, 11), 0.99, 2)
+
+	offline := NewDetector(tr).Detect(flows)
+	var online []Alert
+	s := NewStreamDetector(tr, 1<<60, func(a Alert) { online = append(online, a) })
+	for _, f := range flows {
+		s.Add(f)
+	}
+	s.Flush()
+	if len(online) != len(offline) {
+		t.Fatalf("online %d alerts vs offline %d", len(online), len(offline))
+	}
+	for i := range online {
+		if online[i].Type != offline[i].Type || online[i].IP != offline[i].IP {
+			t.Fatalf("alert %d differs: %v vs %v", i, online[i], offline[i])
+		}
+	}
+}

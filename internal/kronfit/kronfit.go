@@ -1,0 +1,284 @@
+// Package kronfit estimates the 2x2 stochastic Kronecker initiator matrix of
+// a graph by maximum likelihood (the KronFit procedure of Leskovec et al.,
+// JMLR 2010): gradient ascent on the model likelihood, with the intractable
+// node-correspondence marginalized by Metropolis sampling of vertex
+// permutations, and the sum over non-edges replaced by its second-order
+// Taylor closed form.
+//
+// Likelihood. With S = Σθ and S2 = Σθ², the log-likelihood of a graph under
+// initiator θ at Kronecker power k and permutation σ is approximated by
+//
+//	LL(θ,σ) ≈ -S^k - S2^k/2 + Σ_{(u,v)∈E} [ log p_σ(u,v) + p_σ(u,v) + p_σ(u,v)²/2 ]
+//
+// where p_σ(u,v) = Π_level θ[bit(σu), bit(σv)]. The first two terms are the
+// closed-form Taylor expansion of Σ_{all pairs} log(1-p); the bracketed edge
+// terms swap each edge's no-edge contribution for its edge contribution.
+// Only the edge terms depend on σ, so Metropolis swap acceptance needs just
+// the edges incident to the swapped vertices.
+package kronfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"csb/internal/graph"
+	"csb/internal/kronecker"
+)
+
+// Config parameterizes Fit. Zero fields select the defaults.
+type Config struct {
+	// Iterations is the number of gradient steps (default 80).
+	Iterations int
+	// LearningRate is the step size applied to the per-edge-normalized
+	// gradient (default 0.05).
+	LearningRate float64
+	// PermSamples is the number of permutation samples averaged per
+	// gradient step (default 3).
+	PermSamples int
+	// SwapsPerSample is the number of Metropolis swap proposals between
+	// samples (default 2 * number of vertices).
+	SwapsPerSample int
+	// MinTheta is the lower projection bound keeping the likelihood finite
+	// (default 0.005); the upper bound is 1 - MinTheta.
+	MinTheta float64
+	// Init is the starting initiator (default kronecker.DefaultInitiator).
+	Init kronecker.Initiator
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Iterations == 0 {
+		c.Iterations = 80
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.PermSamples == 0 {
+		c.PermSamples = 3
+	}
+	if c.MinTheta == 0 {
+		c.MinTheta = 0.005
+	}
+	if c.Init.Sum() == 0 {
+		c.Init = kronecker.DefaultInitiator()
+	}
+}
+
+// Result reports the fitted initiator and diagnostics.
+type Result struct {
+	Initiator kronecker.Initiator
+	K         int     // Kronecker power covering the graph: ceil(log2 |V|)
+	InitialLL float64 // likelihood at the starting point
+	FinalLL   float64 // likelihood at the fitted point
+}
+
+// fitState bundles the per-fit data.
+type fitState struct {
+	edges [][2]int64 // simple-graph edges as vertex pairs
+	inc   [][]int32  // vertex -> incident edge indices
+	sigma []int64    // graph vertex -> Kronecker vertex
+	k     int
+	n     int64
+	rng   *rand.Rand
+}
+
+// Fit estimates the initiator of g. Multi-edges are collapsed first (KronFit
+// models a simple graph, mirroring the Gp construction of the PGSK
+// algorithm).
+func Fit(g *graph.Graph, cfg Config) (*Result, error) {
+	cfg.fill()
+	if cfg.SwapsPerSample == 0 {
+		cfg.SwapsPerSample = int(2 * g.NumVertices())
+	}
+	simple := g.Simplify()
+	if simple.NumEdges() == 0 {
+		return nil, errors.New("kronfit: graph has no edges")
+	}
+	if simple.NumVertices() < 2 {
+		return nil, errors.New("kronfit: graph has fewer than 2 vertices")
+	}
+	n := simple.NumVertices()
+	k := bitsFor(n)
+
+	st := &fitState{
+		k:   k,
+		n:   n,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0xf17)),
+	}
+	st.edges = make([][2]int64, simple.NumEdges())
+	st.inc = make([][]int32, n)
+	for i, e := range simple.Edges() {
+		st.edges[i] = [2]int64{int64(e.Src), int64(e.Dst)}
+		st.inc[e.Src] = append(st.inc[e.Src], int32(i))
+		if e.Dst != e.Src {
+			st.inc[e.Dst] = append(st.inc[e.Dst], int32(i))
+		}
+	}
+	st.sigma = make([]int64, n)
+	for i := range st.sigma {
+		st.sigma[i] = int64(i)
+	}
+
+	theta := cfg.Init
+	res := &Result{K: k, InitialLL: st.logLikelihood(&theta)}
+	lr := cfg.LearningRate
+	currentLL := res.InitialLL
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Improve the node correspondence first; hill-climbing keeps the
+		// likelihood monotone (a full Metropolis chain mixes too slowly at
+		// this scale and random-walks away from good permutations).
+		for s := 0; s < cfg.PermSamples; s++ {
+			st.improveSigma(&theta, cfg.SwapsPerSample)
+		}
+		currentLL = st.logLikelihood(&theta)
+
+		grad := st.gradient(&theta)
+		// Normalize by edge count so the learning rate is scale free, and
+		// backtrack until the step improves the likelihood.
+		accepted := false
+		for attempt := 0; attempt < 8; attempt++ {
+			cand := theta
+			scale := lr / float64(len(st.edges))
+			for i := range cand.Theta {
+				cand.Theta[i] = clamp(cand.Theta[i]+scale*grad[i], cfg.MinTheta, 1-cfg.MinTheta)
+			}
+			if ll := st.logLikelihood(&cand); ll >= currentLL {
+				theta = cand
+				currentLL = ll
+				accepted = true
+				break
+			}
+			lr /= 2
+		}
+		if !accepted && lr < 1e-12 {
+			break // converged: no admissible step remains
+		}
+	}
+	res.Initiator = theta
+	res.FinalLL = st.logLikelihood(&theta)
+	return res, nil
+}
+
+// bitsFor returns ceil(log2(n)) with a minimum of 1.
+func bitsFor(n int64) int {
+	k := 1
+	for int64(1)<<uint(k) < n {
+		k++
+	}
+	return k
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// edgeTerm returns log p + p + p²/2 for the σ-mapped edge e.
+func (st *fitState) edgeTerm(theta *kronecker.Initiator, e [2]int64) float64 {
+	p := kronecker.EdgeProbability(theta, st.k, st.sigma[e[0]], st.sigma[e[1]])
+	return math.Log(p) + p + p*p/2
+}
+
+// logLikelihood evaluates the approximate LL at the current permutation.
+func (st *fitState) logLikelihood(theta *kronecker.Initiator) float64 {
+	kf := float64(st.k)
+	ll := -math.Pow(theta.Sum(), kf) - math.Pow(theta.SumSquares(), kf)/2
+	for _, e := range st.edges {
+		ll += st.edgeTerm(theta, e)
+	}
+	return ll
+}
+
+// improveSigma performs `swaps` random swap proposals on σ, accepting only
+// improvements of the edge-term likelihood (the closed-form no-edge terms
+// are permutation invariant, so only edges incident to the swapped vertices
+// matter).
+func (st *fitState) improveSigma(theta *kronecker.Initiator, swaps int) {
+	for s := 0; s < swaps; s++ {
+		a := st.rng.Int64N(st.n)
+		b := st.rng.Int64N(st.n)
+		if a == b {
+			continue
+		}
+		var before, after float64
+		for _, v := range []int64{a, b} {
+			for _, ei := range st.inc[v] {
+				before += st.edgeTerm(theta, st.edges[ei])
+			}
+		}
+		st.sigma[a], st.sigma[b] = st.sigma[b], st.sigma[a]
+		for _, v := range []int64{a, b} {
+			for _, ei := range st.inc[v] {
+				after += st.edgeTerm(theta, st.edges[ei])
+			}
+		}
+		// Edges incident to both a and b are double counted identically on
+		// both sides, so the comparison is unaffected.
+		if after >= before {
+			continue // accept
+		}
+		st.sigma[a], st.sigma[b] = st.sigma[b], st.sigma[a] // reject: undo
+	}
+}
+
+// gradient evaluates dLL/dθ at the current permutation.
+func (st *fitState) gradient(theta *kronecker.Initiator) [4]float64 {
+	kf := float64(st.k)
+	s := theta.Sum()
+	s2 := theta.SumSquares()
+	var grad [4]float64
+	for i := range grad {
+		grad[i] = -kf*math.Pow(s, kf-1) - kf*math.Pow(s2, kf-1)*theta.Theta[i]
+	}
+	var counts [4]int
+	for _, e := range st.edges {
+		u, v := st.sigma[e[0]], st.sigma[e[1]]
+		p := 1.0
+		counts = [4]int{}
+		for level := 0; level < st.k; level++ {
+			shift := uint(st.k - 1 - level)
+			idx := ((u>>shift)&1)<<1 | (v>>shift)&1
+			counts[idx]++
+			p *= theta.Theta[idx]
+		}
+		f := 1 + p + p*p
+		for i := range grad {
+			if counts[i] > 0 {
+				grad[i] += float64(counts[i]) / theta.Theta[i] * f
+			}
+		}
+	}
+	return grad
+}
+
+// FitForGeneration is the convenience used by PGSK: it fits g and returns an
+// initiator rescaled so its expected edge count at power K exactly matches
+// the simple graph's edge count (KronFit optimizes shape; the paper's
+// pipeline needs the edge budget to match the seed).
+func FitForGeneration(g *graph.Graph, cfg Config) (*Result, error) {
+	res, err := Fit(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	simpleEdges := float64(g.Simplify().NumEdges())
+	want := math.Pow(simpleEdges, 1/float64(res.K)) // per-level edge budget
+	have := res.Initiator.Sum()
+	if have > 0 {
+		f := want / have
+		for i := range res.Initiator.Theta {
+			res.Initiator.Theta[i] = clamp(res.Initiator.Theta[i]*f, 1e-4, 1-1e-4)
+		}
+	}
+	if err := res.Initiator.Validate(); err != nil {
+		return nil, fmt.Errorf("kronfit: rescaled initiator invalid: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package netflow
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"csb/internal/graph"
+	"csb/internal/pcap"
+)
+
+var csvHeader = []string{
+	"start_us", "end_us", "src_ip", "dst_ip", "proto",
+	"src_port", "dst_port", "out_bytes", "in_bytes",
+	"out_pkts", "in_pkts", "state", "syn", "ack",
+}
+
+// WriteCSV serializes flows as CSV with a header row, the textual Netflow
+// exchange format of the toolchain.
+func WriteCSV(w io.Writer, flows []Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, len(csvHeader))
+	for i := range flows {
+		f := &flows[i]
+		rec[0] = strconv.FormatInt(f.StartMicros, 10)
+		rec[1] = strconv.FormatInt(f.EndMicros, 10)
+		rec[2] = pcap.FormatIPv4(f.SrcIP)
+		rec[3] = pcap.FormatIPv4(f.DstIP)
+		rec[4] = f.Protocol.String()
+		rec[5] = strconv.FormatUint(uint64(f.SrcPort), 10)
+		rec[6] = strconv.FormatUint(uint64(f.DstPort), 10)
+		rec[7] = strconv.FormatInt(f.OutBytes, 10)
+		rec[8] = strconv.FormatInt(f.InBytes, 10)
+		rec[9] = strconv.FormatInt(f.OutPkts, 10)
+		rec[10] = strconv.FormatInt(f.InPkts, 10)
+		rec[11] = f.State.String()
+		rec[12] = strconv.FormatInt(f.SYNCount, 10)
+		rec[13] = strconv.FormatInt(f.ACKCount, 10)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses flows written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Flow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("netflow: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if hdr[i] != h {
+			return nil, fmt.Errorf("netflow: CSV column %d is %q, want %q", i, hdr[i], h)
+		}
+	}
+	var flows []Flow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return flows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netflow: CSV line %d: %w", line, err)
+		}
+		f, err := parseCSVRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("netflow: CSV line %d: %w", line, err)
+		}
+		flows = append(flows, f)
+	}
+}
+
+func parseCSVRecord(rec []string) (Flow, error) {
+	var f Flow
+	var err error
+	geti := func(s string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	f.StartMicros = geti(rec[0])
+	f.EndMicros = geti(rec[1])
+	f.SrcIP, err = parseIPv4(rec[2], err)
+	f.DstIP, err = parseIPv4(rec[3], err)
+	f.Protocol, err = parseProto(rec[4], err)
+	f.SrcPort = uint16(geti(rec[5]))
+	f.DstPort = uint16(geti(rec[6]))
+	f.OutBytes = geti(rec[7])
+	f.InBytes = geti(rec[8])
+	f.OutPkts = geti(rec[9])
+	f.InPkts = geti(rec[10])
+	f.State, err = parseState(rec[11], err)
+	f.SYNCount = geti(rec[12])
+	f.ACKCount = geti(rec[13])
+	return f, err
+}
+
+func parseIPv4(s string, prev error) (uint32, error) {
+	if prev != nil {
+		return 0, prev
+	}
+	var a, b, c, d uint32
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad IPv4 %q: %w", s, err)
+	}
+	if a > 255 || b > 255 || c > 255 || d > 255 {
+		return 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	return a<<24 | b<<16 | c<<8 | d, nil
+}
+
+func parseProto(s string, prev error) (graph.Protocol, error) {
+	if prev != nil {
+		return 0, prev
+	}
+	switch s {
+	case "tcp":
+		return graph.ProtoTCP, nil
+	case "udp":
+		return graph.ProtoUDP, nil
+	case "icmp":
+		return graph.ProtoICMP, nil
+	case "unknown":
+		return graph.ProtoUnknown, nil
+	default:
+		return 0, fmt.Errorf("bad protocol %q", s)
+	}
+}
+
+func parseState(s string, prev error) (graph.TCPState, error) {
+	if prev != nil {
+		return 0, prev
+	}
+	states := map[string]graph.TCPState{
+		"-": graph.StateNone, "S0": graph.StateS0, "S1": graph.StateS1,
+		"SF": graph.StateSF, "REJ": graph.StateREJ, "RSTO": graph.StateRSTO,
+		"RSTR": graph.StateRSTR, "SH": graph.StateSH, "OTH": graph.StateOTH,
+	}
+	st, ok := states[s]
+	if !ok {
+		return 0, fmt.Errorf("bad TCP state %q", s)
+	}
+	return st, nil
+}

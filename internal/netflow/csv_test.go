@@ -1,0 +1,84 @@
+package netflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := sampleFlows()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d flows, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("flow %d mismatch:\n in %+v\nout %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d flows from empty CSV", len(out))
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	bad := "a,b,c,d,e,f,g,h,i,j,k,l,m,n\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("accepted wrong header")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestReadCSVRejectsBadFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleFlows()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := []struct{ from, to string }{
+		{"tcp", "sctp"},
+		{"SF", "XX"},
+		{"10.0.0.1", "10.0.0"},
+		{"660", "sixsixty"},
+	}
+	for _, c := range cases {
+		bad := strings.Replace(good, c.from, c.to, 1)
+		if bad == good {
+			t.Fatalf("replacement %q not found", c.from)
+		}
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted corrupted field %q -> %q", c.from, c.to)
+		}
+	}
+}
+
+func TestParseIPv4Range(t *testing.T) {
+	if _, err := parseIPv4("300.1.1.1", nil); err == nil {
+		t.Fatal("accepted octet > 255")
+	}
+	v, err := parseIPv4("10.0.0.1", nil)
+	if err != nil || v != 0x0a000001 {
+		t.Fatalf("parseIPv4 = %x, %v", v, err)
+	}
+}

@@ -1,0 +1,63 @@
+package netflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV flow parser never panics and that everything
+// it accepts re-serializes losslessly.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteCSV(&buf, sampleFlows())
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("start_us,end_us\n1,2\n")
+	f.Add(strings.Replace(buf.String(), "tcp", "xxx", 1))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		flows, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, flows); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(flows) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(flows))
+		}
+	})
+}
+
+// FuzzReadV5 asserts the NetFlow v5 parser never panics and pairs whatever
+// it accepts without crashing.
+func FuzzReadV5(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteV5(&buf, sampleFlows())
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:24])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x05}, 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		unis, err := ReadV5(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		flows := PairUniflows(unis)
+		if len(flows) > len(unis) {
+			t.Fatalf("pairing grew records: %d from %d", len(flows), len(unis))
+		}
+		for _, fl := range flows {
+			if fl.OutPkts < 0 || fl.InPkts < 0 || fl.OutBytes < 0 || fl.InBytes < 0 {
+				t.Fatalf("negative counters: %+v", fl)
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package netflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"csb/internal/graph"
+	"csb/internal/pcap"
+)
+
+// NetFlow v5 export format (the Cisco on-the-wire format the paper's data
+// model derives from). A v5 record is unidirectional; WriteV5 splits each
+// bidirectional Flow into an originator->responder record and, when reply
+// traffic exists, a responder->originator record. ReadV5 parses records and
+// PairUniflows reassembles bidirectional Flows.
+//
+// Layout (RFC-less but standardized by Cisco):
+//
+//	header (24 bytes): version, count, sysUptime, unixSecs, unixNsecs,
+//	                   flowSequence, engineType, engineID, sampling
+//	record (48 bytes): srcaddr, dstaddr, nexthop, input, output, dPkts,
+//	                   dOctets, first, last, srcport, dstport, pad, tcpFlags,
+//	                   prot, tos, srcAS, dstAS, srcMask, dstMask, pad
+const (
+	v5Version       = 5
+	v5HeaderLen     = 24
+	v5RecordLen     = 48
+	v5MaxPerMessage = 30
+)
+
+// Uniflow is one unidirectional NetFlow v5 record in decoded form.
+type Uniflow struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Protocol         uint8 // IP protocol number
+	TCPFlags         uint8
+	Packets, Octets  uint32
+	FirstMicros      int64 // absolute time reconstructed from the header
+	LastMicros       int64
+}
+
+// protoNumber maps the graph protocol to the IP protocol number.
+func protoNumber(p graph.Protocol) uint8 {
+	switch p {
+	case graph.ProtoTCP:
+		return pcap.IPProtoTCP
+	case graph.ProtoUDP:
+		return pcap.IPProtoUDP
+	case graph.ProtoICMP:
+		return pcap.IPProtoICMP
+	default:
+		return 0
+	}
+}
+
+// v5Flags reconstructs a cumulative TCP flag byte from the connection state.
+func v5Flags(f *Flow) uint8 {
+	if f.Protocol != graph.ProtoTCP {
+		return 0
+	}
+	var fl uint8
+	if f.SYNCount > 0 {
+		fl |= uint8(pcap.FlagSYN)
+	}
+	if f.ACKCount > 0 {
+		fl |= uint8(pcap.FlagACK)
+	}
+	switch f.State {
+	case graph.StateSF, graph.StateSH:
+		fl |= uint8(pcap.FlagFIN)
+	case graph.StateREJ, graph.StateRSTO, graph.StateRSTR:
+		fl |= uint8(pcap.FlagRST)
+	}
+	return fl
+}
+
+// WriteV5 serializes flows as NetFlow v5 export messages. Each Flow emits
+// one record for the originator direction and one for the responder
+// direction when reply packets exist. Timestamps are encoded relative to
+// the earliest flow start (the v5 sysUptime convention).
+func WriteV5(w io.Writer, flows []Flow) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	// Base time: earliest start, carried in the header's unix seconds.
+	var base int64
+	for i := range flows {
+		if i == 0 || flows[i].StartMicros < base {
+			base = flows[i].StartMicros
+		}
+	}
+	var unis []Uniflow
+	for i := range flows {
+		f := &flows[i]
+		if f.OutPkts > 0 || f.InPkts == 0 {
+			unis = append(unis, Uniflow{
+				SrcIP: f.SrcIP, DstIP: f.DstIP,
+				SrcPort: f.SrcPort, DstPort: f.DstPort,
+				Protocol: protoNumber(f.Protocol), TCPFlags: v5Flags(f),
+				Packets: clampU32(f.OutPkts), Octets: clampU32(f.OutBytes),
+				FirstMicros: f.StartMicros, LastMicros: f.EndMicros,
+			})
+		}
+		if f.InPkts > 0 {
+			unis = append(unis, Uniflow{
+				SrcIP: f.DstIP, DstIP: f.SrcIP,
+				SrcPort: f.DstPort, DstPort: f.SrcPort,
+				Protocol: protoNumber(f.Protocol), TCPFlags: v5Flags(f),
+				Packets: clampU32(f.InPkts), Octets: clampU32(f.InBytes),
+				FirstMicros: f.StartMicros, LastMicros: f.EndMicros,
+			})
+		}
+	}
+	var seq uint32
+	for off := 0; off < len(unis); off += v5MaxPerMessage {
+		end := off + v5MaxPerMessage
+		if end > len(unis) {
+			end = len(unis)
+		}
+		if err := writeV5Message(bw, unis[off:end], base, seq); err != nil {
+			return err
+		}
+		seq += uint32(end - off)
+	}
+	if len(unis) == 0 {
+		if err := writeV5Message(bw, nil, base, 0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func clampU32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffffffff {
+		return 0xffffffff
+	}
+	return uint32(v)
+}
+
+func writeV5Message(w io.Writer, unis []Uniflow, baseMicros int64, seq uint32) error {
+	var hdr [v5HeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], v5Version)
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(unis)))
+	// sysUptime 0 at base time; unixSecs/unixNsecs give the absolute base.
+	binary.BigEndian.PutUint32(hdr[4:8], 0)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(baseMicros/1e6))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(baseMicros%1e6)*1000)
+	binary.BigEndian.PutUint32(hdr[16:20], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [v5RecordLen]byte
+	for i := range unis {
+		u := &unis[i]
+		for j := range rec {
+			rec[j] = 0
+		}
+		binary.BigEndian.PutUint32(rec[0:4], u.SrcIP)
+		binary.BigEndian.PutUint32(rec[4:8], u.DstIP)
+		binary.BigEndian.PutUint32(rec[16:20], u.Packets)
+		binary.BigEndian.PutUint32(rec[20:24], u.Octets)
+		binary.BigEndian.PutUint32(rec[24:28], uint32((u.FirstMicros-baseMicros)/1000))
+		binary.BigEndian.PutUint32(rec[28:32], uint32((u.LastMicros-baseMicros)/1000))
+		binary.BigEndian.PutUint16(rec[32:34], u.SrcPort)
+		binary.BigEndian.PutUint16(rec[34:36], u.DstPort)
+		rec[37] = u.TCPFlags
+		rec[38] = u.Protocol
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadV5 parses NetFlow v5 export messages until EOF, returning the decoded
+// unidirectional records.
+func ReadV5(r io.Reader) ([]Uniflow, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out []Uniflow
+	for msg := 0; ; msg++ {
+		var hdr [v5HeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("netflow: v5 message %d header: %w", msg, err)
+		}
+		if v := binary.BigEndian.Uint16(hdr[0:2]); v != v5Version {
+			return nil, fmt.Errorf("netflow: v5 message %d has version %d", msg, v)
+		}
+		count := binary.BigEndian.Uint16(hdr[2:4])
+		if count > v5MaxPerMessage {
+			return nil, fmt.Errorf("netflow: v5 message %d claims %d records", msg, count)
+		}
+		uptime := int64(binary.BigEndian.Uint32(hdr[4:8]))
+		secs := int64(binary.BigEndian.Uint32(hdr[8:12]))
+		nsecs := int64(binary.BigEndian.Uint32(hdr[12:16]))
+		// Absolute time of sysUptime 0.
+		base := secs*1e6 + nsecs/1000 - uptime*1000
+		var rec [v5RecordLen]byte
+		for i := 0; i < int(count); i++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("netflow: v5 message %d record %d: %w", msg, i, err)
+			}
+			out = append(out, Uniflow{
+				SrcIP:       binary.BigEndian.Uint32(rec[0:4]),
+				DstIP:       binary.BigEndian.Uint32(rec[4:8]),
+				Packets:     binary.BigEndian.Uint32(rec[16:20]),
+				Octets:      binary.BigEndian.Uint32(rec[20:24]),
+				FirstMicros: base + int64(binary.BigEndian.Uint32(rec[24:28]))*1000,
+				LastMicros:  base + int64(binary.BigEndian.Uint32(rec[28:32]))*1000,
+				SrcPort:     binary.BigEndian.Uint16(rec[32:34]),
+				DstPort:     binary.BigEndian.Uint16(rec[34:36]),
+				TCPFlags:    rec[37],
+				Protocol:    rec[38],
+			})
+		}
+	}
+}
+
+// PairUniflows reassembles bidirectional Flows from unidirectional v5
+// records: records with mirrored 5-tuples merge, the earlier-starting side
+// becoming the originator. A record on a known tuple starting more than the
+// idle timeout after that flow ended opens a new flow (v5 carries no flow
+// boundaries; this is the standard collector heuristic). TCP state is
+// approximated from the cumulative flags (v5 has no state machine).
+func PairUniflows(unis []Uniflow) []Flow {
+	type key struct {
+		a, b         uint32
+		aPort, bPort uint16
+		proto        uint8
+	}
+	fwd := make(map[key]int, len(unis)) // key -> index into flows
+	var flows []Flow
+	for i := range unis {
+		u := &unis[i]
+		k := key{a: u.SrcIP, b: u.DstIP, aPort: u.SrcPort, bPort: u.DstPort, proto: u.Protocol}
+		rk := key{a: u.DstIP, b: u.SrcIP, aPort: u.DstPort, bPort: u.SrcPort, proto: u.Protocol}
+		if fi, ok := fwd[rk]; ok && u.FirstMicros <= flows[fi].EndMicros+DefaultIdleTimeoutMicros {
+			// Reply direction of an existing flow.
+			f := &flows[fi]
+			f.InPkts += int64(u.Packets)
+			f.InBytes += int64(u.Octets)
+			if u.LastMicros > f.EndMicros {
+				f.EndMicros = u.LastMicros
+			}
+			if u.FirstMicros < f.StartMicros {
+				f.StartMicros = u.FirstMicros
+			}
+			continue
+		}
+		if fi, ok := fwd[k]; ok && u.FirstMicros <= flows[fi].EndMicros+DefaultIdleTimeoutMicros {
+			// Same direction seen again (multi-message split): accumulate.
+			f := &flows[fi]
+			f.OutPkts += int64(u.Packets)
+			f.OutBytes += int64(u.Octets)
+			if u.LastMicros > f.EndMicros {
+				f.EndMicros = u.LastMicros
+			}
+			continue
+		}
+		f := Flow{
+			SrcIP: u.SrcIP, DstIP: u.DstIP,
+			Protocol: protoFromIP(u.Protocol),
+			SrcPort:  u.SrcPort, DstPort: u.DstPort,
+			StartMicros: u.FirstMicros, EndMicros: u.LastMicros,
+			OutPkts: int64(u.Packets), OutBytes: int64(u.Octets),
+		}
+		if f.Protocol == graph.ProtoTCP {
+			fl := pcap.TCPFlags(u.TCPFlags)
+			switch {
+			case fl.Has(pcap.FlagRST):
+				f.State = graph.StateRSTO
+			case fl.Has(pcap.FlagSYN | pcap.FlagFIN | pcap.FlagACK):
+				f.State = graph.StateSF
+			case fl.Has(pcap.FlagSYN) && !fl.Has(pcap.FlagACK):
+				f.State = graph.StateS0
+			case fl.Has(pcap.FlagSYN):
+				f.State = graph.StateS1
+			default:
+				f.State = graph.StateOTH
+			}
+			if fl.Has(pcap.FlagSYN) {
+				f.SYNCount = 1
+			}
+			if fl.Has(pcap.FlagACK) {
+				f.ACKCount = 1
+			}
+		}
+		fwd[k] = len(flows)
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	return flows
+}

@@ -1,0 +1,192 @@
+package netflow
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"csb/internal/graph"
+	"csb/internal/pcap"
+)
+
+func TestV5RoundTripUniflows(t *testing.T) {
+	in := sampleFlows()
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, in); err != nil {
+		t.Fatalf("WriteV5: %v", err)
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil {
+		t.Fatalf("ReadV5: %v", err)
+	}
+	// sampleFlows: flow0 bidirectional (2 records), flow1 unidirectional,
+	// flow2 unidirectional.
+	if len(unis) != 4 {
+		t.Fatalf("uniflows = %d, want 4", len(unis))
+	}
+	u := unis[0]
+	if u.SrcIP != hostA || u.DstIP != hostB || u.SrcPort != 40000 || u.DstPort != 80 {
+		t.Fatalf("uniflow 0 wrong: %+v", u)
+	}
+	if u.Packets != 5 || u.Octets != 660 {
+		t.Fatalf("uniflow 0 counters: %+v", u)
+	}
+	if u.Protocol != pcap.IPProtoTCP {
+		t.Fatalf("uniflow 0 protocol %d", u.Protocol)
+	}
+	// Timestamps survive with millisecond resolution.
+	if u.FirstMicros != 0 || u.LastMicros != 7000 {
+		t.Fatalf("uniflow 0 times: %d..%d", u.FirstMicros, u.LastMicros)
+	}
+}
+
+func TestV5PairRoundTrip(t *testing.T) {
+	in := sampleFlows()
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := PairUniflows(unis)
+	if len(flows) != len(in) {
+		t.Fatalf("paired %d flows, want %d", len(flows), len(in))
+	}
+	for i := range in {
+		got, want := flows[i], in[i]
+		if got.SrcIP != want.SrcIP || got.DstIP != want.DstIP {
+			t.Errorf("flow %d endpoints: %+v vs %+v", i, got, want)
+		}
+		if got.OutBytes != want.OutBytes || got.InBytes != want.InBytes {
+			t.Errorf("flow %d bytes: %d/%d vs %d/%d", i, got.OutBytes, got.InBytes, want.OutBytes, want.InBytes)
+		}
+		if got.OutPkts != want.OutPkts || got.InPkts != want.InPkts {
+			t.Errorf("flow %d packets differ", i)
+		}
+		if got.Protocol != want.Protocol {
+			t.Errorf("flow %d protocol differs", i)
+		}
+	}
+	// TCP state approximations: SF flow stays SF, S0 stays S0.
+	if flows[0].State != graph.StateSF {
+		t.Errorf("flow 0 state %v, want SF", flows[0].State)
+	}
+	if flows[2].State != graph.StateS0 {
+		t.Errorf("flow 2 state %v, want S0", flows[2].State)
+	}
+}
+
+func TestV5EmptyMessage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatalf("empty export = %d bytes, want header only", buf.Len())
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil || len(unis) != 0 {
+		t.Fatalf("empty read: %v, %d records", err, len(unis))
+	}
+}
+
+func TestV5MessageSplitting(t *testing.T) {
+	// 40 unidirectional flows need two v5 messages (30 max each).
+	var flows []Flow
+	for i := 0; i < 40; i++ {
+		flows = append(flows, Flow{
+			SrcIP: hostA, DstIP: hostB, Protocol: graph.ProtoUDP,
+			SrcPort: uint16(1000 + i), DstPort: 53,
+			StartMicros: int64(i) * 1000, EndMicros: int64(i)*1000 + 500,
+			OutPkts: 1, OutBytes: 100,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 2*24 + 40*48
+	if buf.Len() != wantLen {
+		t.Fatalf("export = %d bytes, want %d (2 messages)", buf.Len(), wantLen)
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil || len(unis) != 40 {
+		t.Fatalf("read: %v, %d records", err, len(unis))
+	}
+	if got := PairUniflows(unis); len(got) != 40 {
+		t.Fatalf("paired = %d flows", len(got))
+	}
+}
+
+func TestV5ReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadV5(strings.NewReader("short")); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 24)
+	binary.BigEndian.PutUint16(bad[0:2], 9)
+	if _, err := ReadV5(bytes.NewReader(bad)); err == nil {
+		t.Error("version 9 accepted")
+	}
+	// Valid header claiming a record that is not there.
+	binary.BigEndian.PutUint16(bad[0:2], 5)
+	binary.BigEndian.PutUint16(bad[2:4], 1)
+	if _, err := ReadV5(bytes.NewReader(bad)); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Record count over the v5 maximum.
+	binary.BigEndian.PutUint16(bad[2:4], 31)
+	if _, err := ReadV5(bytes.NewReader(bad)); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+func TestV5CounterClamping(t *testing.T) {
+	f := Flow{
+		SrcIP: hostA, DstIP: hostB, Protocol: graph.ProtoUDP,
+		OutPkts: 1 << 40, OutBytes: -5,
+	}
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, []Flow{f}); err != nil {
+		t.Fatal(err)
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unis[0].Packets != 0xffffffff {
+		t.Errorf("packets not clamped: %d", unis[0].Packets)
+	}
+	if unis[0].Octets != 0 {
+		t.Errorf("negative octets not clamped: %d", unis[0].Octets)
+	}
+}
+
+func TestV5EndToEndWithAssembler(t *testing.T) {
+	// PCAP -> flows -> v5 -> flows: sizes and totals survive.
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(20, 300, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Assemble(pkts, 0)
+	var buf bytes.Buffer
+	if err := WriteV5(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	unis, err := ReadV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PairUniflows(unis)
+	// v5 has no flow boundaries: distinct flows on one 5-tuple within the
+	// idle window merge back. Tolerate a handful of such merges.
+	if len(out) > len(in) || len(in)-len(out) > 5 {
+		t.Fatalf("flows: %d out vs %d in", len(out), len(in))
+	}
+	sIn, sOut := Summarize(in), Summarize(out)
+	if sIn.Bytes != sOut.Bytes || sIn.Packets != sOut.Packets {
+		t.Fatalf("totals differ: %v vs %v", sIn, sOut)
+	}
+}

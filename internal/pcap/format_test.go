@@ -1,0 +1,102 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{TsMicros: 1000000, OrigLen: 100, Data: []byte{1, 2, 3}},
+		{TsMicros: 2500000, OrigLen: 3, Data: []byte{9, 8, 7}},
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatalf("WriteRecord: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	for i := range recs {
+		if got[i].TsMicros != recs[i].TsMicros || got[i].OrigLen != recs[i].OrigLen || !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEmptyCaptureHasValidHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatalf("empty capture = %d bytes, want 24", buf.Len())
+	}
+	if m := binary.LittleEndian.Uint32(buf.Bytes()[0:4]); m != MagicMicros {
+		t.Fatalf("magic = %#x", m)
+	}
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("ReadAll empty: %v, %d records", err, len(recs))
+	}
+}
+
+func TestWriteRecordValidation(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteRecord(Record{OrigLen: 2, Data: make([]byte, 5)}); err == nil {
+		t.Error("accepted OrigLen < captured length")
+	}
+	if err := w.WriteRecord(Record{OrigLen: 1 << 20, Data: make([]byte, DefaultSnapLen+1)}); err == nil {
+		t.Error("accepted record beyond snaplen")
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("short")); err == nil {
+		t.Error("accepted short header")
+	}
+	bad := make([]byte, 24)
+	binary.LittleEndian.PutUint32(bad[0:4], 0xdeadbeef)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Good magic, bad link type.
+	binary.LittleEndian.PutUint32(bad[0:4], MagicMicros)
+	binary.LittleEndian.PutUint16(bad[4:6], VersionMajor)
+	binary.LittleEndian.PutUint32(bad[20:24], 999)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted non-Ethernet link type")
+	}
+}
+
+func TestReaderRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(Record{TsMicros: 1, OrigLen: 4, Data: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadAll(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Error("accepted truncated record body")
+	}
+	if _, err := ReadAll(bytes.NewReader(b[:30])); err == nil {
+		t.Error("accepted truncated record header")
+	}
+}

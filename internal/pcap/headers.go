@@ -1,0 +1,214 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IP protocol numbers used by the trace generator and parser.
+const (
+	IPProtoICMP = 1
+	IPProtoTCP  = 6
+	IPProtoUDP  = 17
+)
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << 0
+	FlagSYN TCPFlags = 1 << 1
+	FlagRST TCPFlags = 1 << 2
+	FlagPSH TCPFlags = 1 << 3
+	FlagACK TCPFlags = 1 << 4
+)
+
+// Has reports whether all bits in f2 are set in f.
+func (f TCPFlags) Has(f2 TCPFlags) bool { return f&f2 == f2 }
+
+// String renders the flag mnemonics, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"}}
+	out := ""
+	for _, n := range names {
+		if f.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}
+
+// PacketInfo is the decoded form of one IPv4 packet: everything the flow
+// assembler needs.
+type PacketInfo struct {
+	TsMicros int64
+	SrcIP    uint32 // host byte order
+	DstIP    uint32
+	Protocol uint8 // IPProtoTCP, IPProtoUDP or IPProtoICMP
+	SrcPort  uint16
+	DstPort  uint16
+	Flags    TCPFlags // TCP only
+	Len      int64    // IPv4 total length (header + payload), bytes on the wire
+}
+
+// Header sizes.
+const (
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+)
+
+// ipv4Checksum computes the Internet checksum over an IPv4 header whose
+// checksum field is zero.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// EncodePacket builds the wire bytes (Ethernet + IPv4 + transport header) of
+// the packet. Payload bytes are not materialized: the IPv4 total-length field
+// and the record's OrigLen claim info.Len bytes while only headers are stored,
+// exactly like a snap-length-limited real capture. This keeps large synthetic
+// traces compact while preserving byte accounting.
+func EncodePacket(info PacketInfo) Record {
+	var transportLen int
+	switch info.Protocol {
+	case IPProtoTCP:
+		transportLen = tcpHeaderLen
+	case IPProtoUDP:
+		transportLen = udpHeaderLen
+	case IPProtoICMP:
+		transportLen = icmpHeaderLen
+	default:
+		panic(fmt.Sprintf("pcap: cannot encode protocol %d", info.Protocol))
+	}
+	minLen := int64(ipv4HeaderLen + transportLen)
+	if info.Len < minLen {
+		info.Len = minLen
+	}
+	buf := make([]byte, ethHeaderLen+ipv4HeaderLen+transportLen)
+
+	// Ethernet: synthetic locally-administered MACs derived from the IPs.
+	eth := buf[:ethHeaderLen]
+	eth[0], eth[1] = 0x02, 0x00
+	binary.BigEndian.PutUint32(eth[2:6], info.DstIP)
+	eth[6], eth[7] = 0x02, 0x00
+	binary.BigEndian.PutUint32(eth[8:12], info.SrcIP)
+	binary.BigEndian.PutUint16(eth[12:14], 0x0800) // IPv4
+
+	ip := buf[ethHeaderLen : ethHeaderLen+ipv4HeaderLen]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(clampU16(info.Len)))
+	ip[8] = 64 // TTL
+	ip[9] = info.Protocol
+	binary.BigEndian.PutUint32(ip[12:16], info.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], info.DstIP)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip))
+
+	tp := buf[ethHeaderLen+ipv4HeaderLen:]
+	switch info.Protocol {
+	case IPProtoTCP:
+		binary.BigEndian.PutUint16(tp[0:2], info.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], info.DstPort)
+		tp[12] = 5 << 4 // data offset: 5 words
+		tp[13] = byte(info.Flags)
+		binary.BigEndian.PutUint16(tp[14:16], 65535) // window
+	case IPProtoUDP:
+		binary.BigEndian.PutUint16(tp[0:2], info.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], info.DstPort)
+		binary.BigEndian.PutUint16(tp[4:6], uint16(clampU16(info.Len-ipv4HeaderLen)))
+	case IPProtoICMP:
+		tp[0] = 8 // echo request
+	}
+	return Record{
+		TsMicros: info.TsMicros,
+		OrigLen:  uint32(info.Len) + ethHeaderLen,
+		Data:     buf,
+	}
+}
+
+func clampU16(v int64) int64 {
+	if v > 65535 {
+		return 65535
+	}
+	return v
+}
+
+// ErrNotIPv4 is returned by DecodePacket for non-IPv4 frames.
+var ErrNotIPv4 = errors.New("pcap: not an IPv4 packet")
+
+// ErrTruncated is returned by DecodePacket when the captured bytes are too
+// short to contain the advertised headers.
+var ErrTruncated = errors.New("pcap: truncated packet")
+
+// DecodePacket parses an Ethernet/IPv4 record into a PacketInfo. Byte
+// accounting uses the IPv4 total-length field rather than the captured
+// length, so snap-length-truncated captures report true wire sizes.
+func DecodePacket(r Record) (PacketInfo, error) {
+	if len(r.Data) < ethHeaderLen+ipv4HeaderLen {
+		return PacketInfo{}, ErrTruncated
+	}
+	if et := binary.BigEndian.Uint16(r.Data[12:14]); et != 0x0800 {
+		return PacketInfo{}, ErrNotIPv4
+	}
+	ip := r.Data[ethHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return PacketInfo{}, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(ip) < ihl {
+		return PacketInfo{}, ErrTruncated
+	}
+	info := PacketInfo{
+		TsMicros: r.TsMicros,
+		SrcIP:    binary.BigEndian.Uint32(ip[12:16]),
+		DstIP:    binary.BigEndian.Uint32(ip[16:20]),
+		Protocol: ip[9],
+		Len:      int64(binary.BigEndian.Uint16(ip[2:4])),
+	}
+	tp := ip[ihl:]
+	switch info.Protocol {
+	case IPProtoTCP:
+		if len(tp) < tcpHeaderLen {
+			return PacketInfo{}, ErrTruncated
+		}
+		info.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		info.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		info.Flags = TCPFlags(tp[13])
+	case IPProtoUDP:
+		if len(tp) < udpHeaderLen {
+			return PacketInfo{}, ErrTruncated
+		}
+		info.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		info.DstPort = binary.BigEndian.Uint16(tp[2:4])
+	case IPProtoICMP:
+		if len(tp) < icmpHeaderLen {
+			return PacketInfo{}, ErrTruncated
+		}
+	}
+	return info, nil
+}
+
+// FormatIPv4 renders a host-order uint32 address in dotted-quad form.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

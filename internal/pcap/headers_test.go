@@ -1,0 +1,149 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeTCP(t *testing.T) {
+	in := PacketInfo{
+		TsMicros: 123456789,
+		SrcIP:    0x0a000001,
+		DstIP:    0x0a000002,
+		Protocol: IPProtoTCP,
+		SrcPort:  43210,
+		DstPort:  443,
+		Flags:    FlagSYN | FlagACK,
+		Len:      1500,
+	}
+	rec := EncodePacket(in)
+	out, err := DecodePacket(rec)
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	if rec.OrigLen != uint32(in.Len)+14 {
+		t.Errorf("OrigLen = %d, want IP len + Ethernet header", rec.OrigLen)
+	}
+}
+
+func TestEncodeDecodeUDPAndICMP(t *testing.T) {
+	udp := PacketInfo{TsMicros: 5, SrcIP: 1, DstIP: 2, Protocol: IPProtoUDP, SrcPort: 53, DstPort: 3333, Len: 80}
+	got, err := DecodePacket(EncodePacket(udp))
+	if err != nil || got != udp {
+		t.Fatalf("UDP round trip: %v, %+v", err, got)
+	}
+	icmp := PacketInfo{TsMicros: 6, SrcIP: 3, DstIP: 4, Protocol: IPProtoICMP, Len: 84}
+	got, err = DecodePacket(EncodePacket(icmp))
+	if err != nil || got != icmp {
+		t.Fatalf("ICMP round trip: %v, %+v", err, got)
+	}
+}
+
+func TestEncodeEnforcesMinimumLength(t *testing.T) {
+	p := PacketInfo{Protocol: IPProtoTCP, Len: 1} // below header size
+	out, err := DecodePacket(EncodePacket(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len != 40 {
+		t.Fatalf("Len = %d, want clamped to 40 (IP+TCP headers)", out.Len)
+	}
+}
+
+func TestEncodeUnknownProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodePacket accepted unknown protocol")
+		}
+	}()
+	EncodePacket(PacketInfo{Protocol: 99})
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	rec := EncodePacket(PacketInfo{SrcIP: 0xc0a80101, DstIP: 0x08080808, Protocol: IPProtoUDP, SrcPort: 1, DstPort: 2, Len: 100})
+	ip := rec.Data[14:34]
+	// Re-summing the header including its checksum must give 0xffff.
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Fatalf("IPv4 checksum invalid: sum = %#x", sum)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodePacket(Record{Data: []byte{1, 2, 3}}); err != ErrTruncated {
+		t.Errorf("short frame: err = %v, want ErrTruncated", err)
+	}
+	// Valid length but ARP ethertype.
+	frame := make([]byte, 60)
+	binary.BigEndian.PutUint16(frame[12:14], 0x0806)
+	if _, err := DecodePacket(Record{Data: frame}); err != ErrNotIPv4 {
+		t.Errorf("ARP frame: err = %v, want ErrNotIPv4", err)
+	}
+	// IPv4 ethertype but version 6 nibble.
+	binary.BigEndian.PutUint16(frame[12:14], 0x0800)
+	frame[14] = 0x65
+	if _, err := DecodePacket(Record{Data: frame}); err != ErrNotIPv4 {
+		t.Errorf("bad version: err = %v, want ErrNotIPv4", err)
+	}
+	// TCP claimed but transport header missing.
+	tcp := EncodePacket(PacketInfo{Protocol: IPProtoTCP, Len: 40})
+	tcp.Data = tcp.Data[:34] // strip TCP header
+	if _, err := DecodePacket(tcp); err != ErrTruncated {
+		t.Errorf("truncated TCP: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Errorf("String = %q, want SYN|ACK", s)
+	}
+	if s := TCPFlags(0).String(); s != "-" {
+		t.Errorf("String = %q, want -", s)
+	}
+	if !FlagSYN.Has(FlagSYN) || FlagSYN.Has(FlagACK) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestFormatIPv4(t *testing.T) {
+	if s := FormatIPv4(0x0a000001); s != "10.0.0.1" {
+		t.Errorf("FormatIPv4 = %q", s)
+	}
+	if s := FormatIPv4(0xffffffff); s != "255.255.255.255" {
+		t.Errorf("FormatIPv4 = %q", s)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary valid packets.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(ts int64, src, dst uint32, protoRaw uint8, sp, dp uint16, flags uint8, lenRaw uint16) bool {
+		protos := []uint8{IPProtoTCP, IPProtoUDP, IPProtoICMP}
+		in := PacketInfo{
+			TsMicros: ts & 0x7fffffffffff,
+			SrcIP:    src, DstIP: dst,
+			Protocol: protos[int(protoRaw)%3],
+			Len:      int64(lenRaw%1400) + 60,
+		}
+		if in.Protocol != IPProtoICMP {
+			in.SrcPort, in.DstPort = sp, dp
+		}
+		if in.Protocol == IPProtoTCP {
+			in.Flags = TCPFlags(flags & 0x1f)
+		}
+		out, err := DecodePacket(EncodePacket(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package pcap
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"csb/internal/stats"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultTraceConfig(20, 200, 42)
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs between runs", i)
+		}
+	}
+}
+
+func TestSynthesizeSorted(t *testing.T) {
+	pkts, err := Synthesize(DefaultTraceConfig(10, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(pkts, func(i, j int) bool { return pkts[i].TsMicros < pkts[j].TsMicros }) {
+		t.Fatal("packets not in timestamp order")
+	}
+}
+
+func TestSynthesizeProtocolMix(t *testing.T) {
+	cfg := DefaultTraceConfig(50, 3000, 7)
+	pkts, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint8]int{}
+	for _, p := range pkts {
+		counts[p.Protocol]++
+		if p.SrcIP == p.DstIP {
+			t.Fatal("self-loop packet generated")
+		}
+		if p.Len < 28 {
+			t.Fatalf("packet too small: %d", p.Len)
+		}
+	}
+	for _, proto := range []uint8{IPProtoTCP, IPProtoUDP, IPProtoICMP} {
+		if counts[proto] == 0 {
+			t.Errorf("no packets of protocol %d", proto)
+		}
+	}
+	if counts[IPProtoTCP] <= counts[IPProtoICMP] {
+		t.Error("TCP should dominate ICMP under the default mix")
+	}
+}
+
+func TestSynthesizeScaleFreePopularity(t *testing.T) {
+	// Server in-popularity should be heavy-tailed: fit a power law to the
+	// distinct-destination contact counts and expect a plausible exponent.
+	cfg := DefaultTraceConfig(200, 20000, 99)
+	pkts, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count sessions per destination server using SYNs/first-packets by
+	// destination IP of client->server packets; approximate with all packets
+	// grouped by dst.
+	contacts := map[uint32]int64{}
+	for _, p := range pkts {
+		contacts[p.DstIP]++
+	}
+	counts := make([]int64, 0, len(contacts))
+	for _, c := range contacts {
+		counts = append(counts, c)
+	}
+	fit, err := stats.FitPowerLaw(counts, 10)
+	if err != nil {
+		t.Fatalf("power-law fit: %v", err)
+	}
+	if fit.Alpha < 1.2 || fit.Alpha > 4.5 {
+		t.Errorf("popularity exponent = %g, want scale-free-ish (1.2..4.5)", fit.Alpha)
+	}
+	// And the max must far exceed the median (heavy tail).
+	s := stats.SummarizeInt(counts)
+	if s.Max < 5*s.Median {
+		t.Errorf("no heavy tail: max %g median %g", s.Max, s.Median)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Hosts: 1, Sessions: 1, DurationMicros: 1, TCPFraction: 0.5, UDPFraction: 0.2, PacketAlpha: 2, MaxDataPackets: 10},
+		{Hosts: 5, Sessions: 0, DurationMicros: 1, TCPFraction: 0.5, UDPFraction: 0.2, PacketAlpha: 2, MaxDataPackets: 10},
+		{Hosts: 5, Sessions: 1, DurationMicros: 0, TCPFraction: 0.5, UDPFraction: 0.2, PacketAlpha: 2, MaxDataPackets: 10},
+		{Hosts: 5, Sessions: 1, DurationMicros: 1, TCPFraction: 0.9, UDPFraction: 0.3, PacketAlpha: 2, MaxDataPackets: 10},
+		{Hosts: 5, Sessions: 1, DurationMicros: 1, TCPFraction: 0.5, UDPFraction: 0.2, PacketAlpha: 1, MaxDataPackets: 10},
+		{Hosts: 5, Sessions: 1, DurationMicros: 1, TCPFraction: 0.5, UDPFraction: 0.2, PacketAlpha: 2, MaxDataPackets: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthesize(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWriteReadTraceRoundTrip(t *testing.T) {
+	pkts, err := Synthesize(DefaultTraceConfig(10, 150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, pkts); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("round trip: %d packets, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if got[i] != pkts[i] {
+			t.Fatalf("packet %d mismatch:\n in %+v\nout %+v", i, pkts[i], got[i])
+		}
+	}
+}
+
+func TestHostIP(t *testing.T) {
+	if HostIP(0) != 0x0a000001 {
+		t.Errorf("HostIP(0) = %#x", HostIP(0))
+	}
+	if HostIP(255) != 0x0a000100 {
+		t.Errorf("HostIP(255) = %#x", HostIP(255))
+	}
+}
+
+func TestTCPSessionsHaveHandshake(t *testing.T) {
+	cfg := DefaultTraceConfig(10, 500, 11)
+	cfg.UDPFraction = 0
+	cfg.TCPFraction = 1
+	cfg.PNoResponse, cfg.PReject, cfg.PReset = 0, 0, 0
+	pkts, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syn, synack, fin int
+	for _, p := range pkts {
+		switch {
+		case p.Flags.Has(FlagSYN | FlagACK):
+			synack++
+		case p.Flags.Has(FlagSYN):
+			syn++
+		}
+		if p.Flags.Has(FlagFIN) {
+			fin++
+		}
+	}
+	if syn != 500 || synack != 500 {
+		t.Errorf("handshakes: %d SYN %d SYN-ACK, want 500 each", syn, synack)
+	}
+	if fin != 1000 { // each normal session has 2 FINs
+		t.Errorf("FIN count = %d, want 1000", fin)
+	}
+}

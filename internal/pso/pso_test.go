@@ -1,0 +1,123 @@
+package pso
+
+import (
+	"math"
+	"testing"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func TestMinimizeValidation(t *testing.T) {
+	b := Bounds{Lo: []float64{-1}, Hi: []float64{1}}
+	if _, err := Minimize(nil, b, Config{}); err == nil {
+		t.Error("nil objective accepted")
+	}
+	if _, err := Minimize(sphere, Bounds{}, Config{}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Minimize(sphere, Bounds{Lo: []float64{1}, Hi: []float64{-1}}, Config{}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Minimize(sphere, Bounds{Lo: []float64{0, 0}, Hi: []float64{1}}, Config{}); err == nil {
+		t.Error("ragged bounds accepted")
+	}
+	if _, err := Minimize(sphere, b, Config{Particles: 1}); err == nil {
+		t.Error("single particle accepted")
+	}
+	if _, err := Minimize(sphere, b, Config{Iterations: -1}); err == nil {
+		t.Error("negative iterations accepted")
+	}
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	b := Bounds{Lo: []float64{-10, -10, -10}, Hi: []float64{10, 10, 10}}
+	res, err := Minimize(sphere, b, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 0.01 {
+		t.Fatalf("sphere minimum = %g at %v, want ~0", res.Value, res.Position)
+	}
+}
+
+func TestMinimizeShiftedOptimum(t *testing.T) {
+	target := []float64{3, -2}
+	obj := func(x []float64) float64 {
+		d0 := x[0] - target[0]
+		d1 := x[1] - target[1]
+		return d0*d0 + d1*d1
+	}
+	b := Bounds{Lo: []float64{-5, -5}, Hi: []float64{5, 5}}
+	res, err := Minimize(obj, b, Config{Seed: 2, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range target {
+		if math.Abs(res.Position[d]-target[d]) > 0.1 {
+			t.Fatalf("dim %d: %g, want %g", d, res.Position[d], target[d])
+		}
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	// Optimum outside the box: result must sit on the boundary, not beyond.
+	obj := func(x []float64) float64 { return -(x[0]) } // maximize x within [0,1]
+	b := Bounds{Lo: []float64{0}, Hi: []float64{1}}
+	res, err := Minimize(obj, b, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Position[0] < 0 || res.Position[0] > 1 {
+		t.Fatalf("position %g escaped bounds", res.Position[0])
+	}
+	if res.Position[0] < 0.99 {
+		t.Fatalf("did not reach boundary: %g", res.Position[0])
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	b := Bounds{Lo: []float64{-4, -4}, Hi: []float64{4, 4}}
+	cfg := Config{Seed: 4, Particles: 10, Iterations: 30}
+	r1, err := Minimize(sphere, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(sphere, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != r2.Value {
+		t.Fatalf("values differ: %g vs %g", r1.Value, r2.Value)
+	}
+	for d := range r1.Position {
+		if r1.Position[d] != r2.Position[d] {
+			t.Fatal("positions differ")
+		}
+	}
+}
+
+func TestMinimizeRastriginImproves(t *testing.T) {
+	// Multimodal objective: PSO must at least land well below a random
+	// baseline, even if the global optimum is hard.
+	rastrigin := func(x []float64) float64 {
+		s := 10.0 * float64(len(x))
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}
+	b := Bounds{Lo: []float64{-5.12, -5.12}, Hi: []float64{5.12, 5.12}}
+	res, err := Minimize(rastrigin, b, Config{Seed: 5, Iterations: 150, Particles: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 5 {
+		t.Fatalf("rastrigin = %g, want < 5", res.Value)
+	}
+}

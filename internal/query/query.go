@@ -1,0 +1,210 @@
+// Package query implements the benchmark workload operators the paper's
+// benchmarking suite targets: "queries on nodes, edges, paths, and
+// sub-graphs" over the property graph — vertex lookups and top-k degree,
+// attribute-filtered edge scans, BFS paths and k-hop neighborhoods, and
+// sub-graph extraction including the fan patterns the anomaly detector
+// aggregates.
+package query
+
+import (
+	"sort"
+
+	"csb/internal/graph"
+)
+
+// Engine answers workload queries over one property graph. Build once with
+// NewEngine (it materializes CSR adjacency), then query freely; the engine
+// is read-only and safe for concurrent use.
+type Engine struct {
+	g   *graph.Graph
+	out *graph.CSR
+	in  *graph.CSR
+}
+
+// NewEngine indexes g for querying.
+func NewEngine(g *graph.Graph) *Engine {
+	return &Engine{g: g, out: graph.BuildCSR(g), in: graph.BuildReverseCSR(g)}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Degree returns the in- and out-degree of v (node query).
+func (e *Engine) Degree(v graph.VertexID) (in, out int64) {
+	return e.in.Degree(v), e.out.Degree(v)
+}
+
+// VertexDegree pairs a vertex with its total degree.
+type VertexDegree struct {
+	V      graph.VertexID
+	Degree int64
+}
+
+// TopKByDegree returns the k vertices with the highest total degree,
+// descending (node query; the "busiest hosts" report of an IDS dashboard).
+func (e *Engine) TopKByDegree(k int) []VertexDegree {
+	n := e.g.NumVertices()
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	all := make([]VertexDegree, n)
+	for v := int64(0); v < n; v++ {
+		all[v] = VertexDegree{V: graph.VertexID(v), Degree: e.in.Degree(graph.VertexID(v)) + e.out.Degree(graph.VertexID(v))}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Degree != all[j].Degree {
+			return all[i].Degree > all[j].Degree
+		}
+		return all[i].V < all[j].V
+	})
+	if int64(k) > n {
+		k = int(n)
+	}
+	return all[:k]
+}
+
+// EdgesBetween returns every flow edge from u to v (edge query).
+func (e *Engine) EdgesBetween(u, v graph.VertexID) []graph.Edge {
+	var out []graph.Edge
+	for _, edge := range e.g.Edges() {
+		if edge.Src == u && edge.Dst == v {
+			out = append(out, edge)
+		}
+	}
+	return out
+}
+
+// CountEdges returns the number of edges satisfying pred (edge scan query,
+// e.g. "TCP flows with state S0").
+func (e *Engine) CountEdges(pred func(*graph.Edge) bool) int64 {
+	var n int64
+	edges := e.g.Edges()
+	for i := range edges {
+		if pred(&edges[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// KHop returns the set of vertices reachable from v in at most k forward
+// hops, excluding v itself (path query). The result is sorted.
+func (e *Engine) KHop(v graph.VertexID, k int) []graph.VertexID {
+	if k <= 0 {
+		return nil
+	}
+	visited := map[graph.VertexID]struct{}{v: {}}
+	frontier := []graph.VertexID{v}
+	var result []graph.VertexID
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []graph.VertexID
+		for _, u := range frontier {
+			for _, w := range e.out.Neighbors(u) {
+				if _, seen := visited[w]; seen {
+					continue
+				}
+				visited[w] = struct{}{}
+				next = append(next, w)
+				result = append(result, w)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result
+}
+
+// ShortestPathHops returns the minimum number of forward hops from u to v,
+// 0 when u == v and -1 when v is unreachable (path query).
+func (e *Engine) ShortestPathHops(u, v graph.VertexID) int {
+	if u == v {
+		return 0
+	}
+	visited := map[graph.VertexID]struct{}{u: {}}
+	frontier := []graph.VertexID{u}
+	for hops := 1; len(frontier) > 0; hops++ {
+		var next []graph.VertexID
+		for _, x := range frontier {
+			for _, w := range e.out.Neighbors(x) {
+				if w == v {
+					return hops
+				}
+				if _, seen := visited[w]; seen {
+					continue
+				}
+				visited[w] = struct{}{}
+				next = append(next, w)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// FanOut returns the vertices with at least minDegree distinct forward
+// neighbors (sub-graph pattern query: the scanning fan of Section IV).
+func (e *Engine) FanOut(minDegree int64) []graph.VertexID {
+	var out []graph.VertexID
+	n := e.g.NumVertices()
+	for v := int64(0); v < n; v++ {
+		distinct := make(map[graph.VertexID]struct{})
+		for _, w := range e.out.Neighbors(graph.VertexID(v)) {
+			distinct[w] = struct{}{}
+		}
+		if int64(len(distinct)) >= minDegree {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// Subgraph extracts the induced sub-graph over the given vertices, with
+// vertices renumbered densely in the order provided (sub-graph query).
+// Edge properties are preserved.
+func (e *Engine) Subgraph(vertices []graph.VertexID) *graph.Graph {
+	idx := make(map[graph.VertexID]graph.VertexID, len(vertices))
+	for i, v := range vertices {
+		idx[v] = graph.VertexID(i)
+	}
+	out := graph.New(int64(len(vertices)))
+	for i, v := range vertices {
+		if e.g.HasAddrs() {
+			out.SetAddr(graph.VertexID(i), e.g.Addr(v))
+		}
+	}
+	for _, edge := range e.g.Edges() {
+		s, okS := idx[edge.Src]
+		d, okD := idx[edge.Dst]
+		if okS && okD {
+			out.AddEdge(graph.Edge{Src: s, Dst: d, Props: edge.Props})
+		}
+	}
+	return out
+}
+
+// TriangleCount returns the number of directed triangles u->v->w->u in the
+// simplified graph (sub-graph query used as a heavier analytical workload).
+// Each triangle is counted once.
+func (e *Engine) TriangleCount() int64 {
+	simple := e.g.Simplify()
+	csr := graph.BuildCSR(simple)
+	csr.SortNeighbors()
+	var count int64
+	n := simple.NumVertices()
+	for u := int64(0); u < n; u++ {
+		for _, v := range csr.Neighbors(graph.VertexID(u)) {
+			if int64(v) == u {
+				continue
+			}
+			for _, w := range csr.Neighbors(v) {
+				if int64(w) == u || w == v {
+					continue
+				}
+				if csr.HasArc(w, graph.VertexID(u)) {
+					count++
+				}
+			}
+		}
+	}
+	return count / 3 // each directed 3-cycle found from each of its vertices
+}

@@ -1,0 +1,205 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"csb/internal/graph"
+)
+
+// testGraph: 0->1, 0->2, 1->2, 2->3, 3->0 plus a multi-edge 0->1.
+func testGraph() *graph.Graph {
+	g := graph.New(5) // vertex 4 is isolated
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1, Props: graph.EdgeProps{Protocol: graph.ProtoTCP, State: graph.StateS0}})
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1, Props: graph.EdgeProps{Protocol: graph.ProtoTCP, State: graph.StateSF}})
+	g.AddEdge(graph.Edge{Src: 0, Dst: 2, Props: graph.EdgeProps{Protocol: graph.ProtoUDP}})
+	g.AddEdge(graph.Edge{Src: 1, Dst: 2, Props: graph.EdgeProps{Protocol: graph.ProtoTCP, State: graph.StateSF}})
+	g.AddEdge(graph.Edge{Src: 2, Dst: 3, Props: graph.EdgeProps{Protocol: graph.ProtoTCP, State: graph.StateREJ}})
+	g.AddEdge(graph.Edge{Src: 3, Dst: 0, Props: graph.EdgeProps{Protocol: graph.ProtoICMP}})
+	return g
+}
+
+func TestDegree(t *testing.T) {
+	e := NewEngine(testGraph())
+	in, out := e.Degree(0)
+	if in != 1 || out != 3 {
+		t.Fatalf("Degree(0) = %d/%d, want 1/3", in, out)
+	}
+	in, out = e.Degree(4)
+	if in != 0 || out != 0 {
+		t.Fatalf("Degree(4) = %d/%d, want isolated", in, out)
+	}
+}
+
+func TestTopKByDegree(t *testing.T) {
+	e := NewEngine(testGraph())
+	top := e.TopKByDegree(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].V != 0 || top[0].Degree != 4 {
+		t.Fatalf("top[0] = %+v, want vertex 0 degree 4", top[0])
+	}
+	// k beyond n clamps.
+	if got := e.TopKByDegree(100); len(got) != 5 {
+		t.Fatalf("overlong top-k = %d", len(got))
+	}
+	if e.TopKByDegree(0) != nil {
+		t.Fatal("k=0 returned results")
+	}
+}
+
+func TestEdgesBetween(t *testing.T) {
+	e := NewEngine(testGraph())
+	es := e.EdgesBetween(0, 1)
+	if len(es) != 2 {
+		t.Fatalf("EdgesBetween(0,1) = %d, want 2 (multi-edge)", len(es))
+	}
+	if len(e.EdgesBetween(1, 0)) != 0 {
+		t.Fatal("reverse direction matched")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	e := NewEngine(testGraph())
+	tcp := e.CountEdges(func(ed *graph.Edge) bool { return ed.Props.Protocol == graph.ProtoTCP })
+	if tcp != 4 {
+		t.Fatalf("TCP edges = %d, want 4", tcp)
+	}
+	s0 := e.CountEdges(func(ed *graph.Edge) bool { return ed.Props.State == graph.StateS0 })
+	if s0 != 1 {
+		t.Fatalf("S0 edges = %d, want 1", s0)
+	}
+}
+
+func TestKHop(t *testing.T) {
+	e := NewEngine(testGraph())
+	h1 := e.KHop(0, 1)
+	if len(h1) != 2 || h1[0] != 1 || h1[1] != 2 {
+		t.Fatalf("1-hop from 0 = %v, want [1 2]", h1)
+	}
+	h2 := e.KHop(0, 2)
+	if len(h2) != 3 { // adds vertex 3
+		t.Fatalf("2-hop from 0 = %v", h2)
+	}
+	h9 := e.KHop(0, 9)
+	if len(h9) != 3 { // the whole reachable set minus self
+		t.Fatalf("9-hop from 0 = %v", h9)
+	}
+	if e.KHop(0, 0) != nil {
+		t.Fatal("0-hop returned vertices")
+	}
+	if got := e.KHop(4, 3); len(got) != 0 {
+		t.Fatalf("isolated vertex hops = %v", got)
+	}
+}
+
+func TestShortestPathHops(t *testing.T) {
+	e := NewEngine(testGraph())
+	cases := []struct {
+		u, v graph.VertexID
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 2}, {3, 2, 2}, {1, 4, -1}, {4, 0, -1},
+	}
+	for _, c := range cases {
+		if got := e.ShortestPathHops(c.u, c.v); got != c.want {
+			t.Errorf("ShortestPathHops(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	e := NewEngine(testGraph())
+	fans := e.FanOut(2)
+	if len(fans) != 1 || fans[0] != 0 {
+		t.Fatalf("FanOut(2) = %v, want [0] (multi-edge counts once)", fans)
+	}
+	if got := e.FanOut(1); len(got) != 4 {
+		t.Fatalf("FanOut(1) = %v", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := testGraph()
+	g.SetAddr(0, 100)
+	g.SetAddr(2, 102)
+	e := NewEngine(g)
+	sub := e.Subgraph([]graph.VertexID{0, 1, 2})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub vertices = %d", sub.NumVertices())
+	}
+	// Edges inside {0,1,2}: 0->1 x2, 0->2, 1->2 (2->3 and 3->0 dropped).
+	if sub.NumEdges() != 4 {
+		t.Fatalf("sub edges = %d, want 4", sub.NumEdges())
+	}
+	if sub.Addr(0) != 100 || sub.Addr(2) != 102 {
+		t.Fatal("addresses not carried into subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Properties preserved.
+	var udp int
+	for _, ed := range sub.Edges() {
+		if ed.Props.Protocol == graph.ProtoUDP {
+			udp++
+		}
+	}
+	if udp != 1 {
+		t.Fatalf("UDP edges in subgraph = %d", udp)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// testGraph has exactly one directed triangle: 0->2->3->0.
+	e := NewEngine(testGraph())
+	if n := e.TriangleCount(); n != 1 {
+		t.Fatalf("triangles = %d, want 1", n)
+	}
+	// Adding 2->0 closes a second one: 0->1->2->0.
+	g := testGraph()
+	g.AddEdge(graph.Edge{Src: 2, Dst: 0})
+	if n := NewEngine(g).TriangleCount(); n != 2 {
+		t.Fatalf("triangles = %d, want 2", n)
+	}
+	// Multi-edges must not double count.
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1})
+	if n := NewEngine(g).TriangleCount(); n != 2 {
+		t.Fatalf("triangles with multi-edge = %d, want 2", n)
+	}
+}
+
+func TestEngineConcurrentReads(t *testing.T) {
+	// The engine documents read-only concurrent safety; hammer it from
+	// several goroutines.
+	g := testGraph()
+	e := NewEngine(g)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := graph.VertexID((w + i) % 5)
+				in, out := e.Degree(v)
+				if in < 0 || out < 0 {
+					errs <- "negative degree"
+					return
+				}
+				if len(e.TopKByDegree(3)) != 3 {
+					errs <- "topk wrong"
+					return
+				}
+				e.KHop(v, 2)
+				e.ShortestPathHops(0, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

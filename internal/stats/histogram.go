@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// HistBin is one bin of a histogram: the value range [Lo, Hi) and the
+// fraction of mass falling in it.
+type HistBin struct {
+	Lo, Hi int64
+	Count  int64
+	P      float64
+}
+
+// LogHistogram bins positive values into logarithmically spaced bins with
+// the given number of bins per decade. It is the binning used to render the
+// degree-distribution comparison (Figure 5) on log-log axes. Non-positive
+// values are dropped.
+func LogHistogram(values []int64, binsPerDecade int) []HistBin {
+	if binsPerDecade <= 0 {
+		binsPerDecade = 10
+	}
+	var maxV int64
+	var n int64
+	for _, v := range values {
+		if v > 0 {
+			n++
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// Bin index of value v: floor(log10(v) * binsPerDecade).
+	nBins := int(math.Floor(math.Log10(float64(maxV))*float64(binsPerDecade))) + 1
+	counts := make([]int64, nBins)
+	for _, v := range values {
+		if v <= 0 {
+			continue
+		}
+		i := int(math.Floor(math.Log10(float64(v)) * float64(binsPerDecade)))
+		if i >= nBins {
+			i = nBins - 1
+		}
+		counts[i]++
+	}
+	bins := make([]HistBin, 0, nBins)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo := int64(math.Ceil(math.Pow(10, float64(i)/float64(binsPerDecade))))
+		hi := int64(math.Ceil(math.Pow(10, float64(i+1)/float64(binsPerDecade))))
+		bins = append(bins, HistBin{Lo: lo, Hi: hi, Count: c, P: float64(c) / float64(n)})
+	}
+	return bins
+}
+
+// DegreeCCDF returns (degree, P[D >= degree]) points for every distinct
+// degree, the standard log-log degree plot series.
+func DegreeCCDF(degrees []int64) (xs []int64, ps []float64) {
+	pos := make([]int64, 0, len(degrees))
+	for _, d := range degrees {
+		if d > 0 {
+			pos = append(pos, d)
+		}
+	}
+	if len(pos) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	n := float64(len(pos))
+	for i := 0; i < len(pos); {
+		j := i
+		for j < len(pos) && pos[j] == pos[i] {
+			j++
+		}
+		xs = append(xs, pos[i])
+		ps = append(ps, float64(len(pos)-i)/n)
+		i = j
+	}
+	return xs, ps
+}
+
+// WriteSeries writes (x, y) pairs as tab-separated rows, the output format
+// of the experiment harness.
+func WriteSeries(w io.Writer, name string, xs []float64, ys []float64) error {
+	if _, err := fmt.Fprintf(w, "# series: %s\n", name); err != nil {
+		return err
+	}
+	for i := range xs {
+		if _, err := fmt.Fprintf(w, "%g\t%g\n", xs[i], ys[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogHistogramMassSumsToOne(t *testing.T) {
+	values := []int64{1, 1, 2, 3, 10, 15, 100, 1000, 0, -5}
+	bins := LogHistogram(values, 5)
+	var p float64
+	var c int64
+	for _, b := range bins {
+		p += b.P
+		c += b.Count
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Fatalf("bin mass = %g, want 1", p)
+	}
+	if c != 8 { // the 8 positive values
+		t.Fatalf("bin count = %d, want 8", c)
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	if bins := LogHistogram(nil, 10); bins != nil {
+		t.Fatalf("empty input produced %d bins", len(bins))
+	}
+	if bins := LogHistogram([]int64{0, -1}, 10); bins != nil {
+		t.Fatal("non-positive-only input produced bins")
+	}
+}
+
+func TestLogHistogramDefaultBins(t *testing.T) {
+	bins := LogHistogram([]int64{1, 10, 100}, 0) // 0 -> default 10/decade
+	if len(bins) == 0 {
+		t.Fatal("no bins with default binning")
+	}
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	xs, ps := DegreeCCDF([]int64{1, 1, 2, 5, 0})
+	if len(xs) != 3 {
+		t.Fatalf("distinct degrees = %d, want 3", len(xs))
+	}
+	if xs[0] != 1 || ps[0] != 1 {
+		t.Errorf("first point (%d, %g), want (1, 1)", xs[0], ps[0])
+	}
+	if xs[2] != 5 || math.Abs(ps[2]-0.25) > 1e-12 {
+		t.Errorf("last point (%d, %g), want (5, 0.25)", xs[2], ps[2])
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] >= ps[i-1] {
+			t.Error("CCDF not strictly decreasing over distinct degrees")
+		}
+	}
+	if xs, ps := DegreeCCDF(nil); xs != nil || ps != nil {
+		t.Error("empty input produced points")
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, "demo", []float64{1, 2}, []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# series: demo\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1\t10\n") || !strings.Contains(out, "2\t20\n") {
+		t.Fatalf("missing rows: %q", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("Std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+	odd := SummarizeInt([]int64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median = %g, want 2", odd.Median)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if r := PearsonCorrelation(a, b); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %g, want 1", r)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	if r := PearsonCorrelation(a, c); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anti-correlation = %g, want -1", r)
+	}
+	if !math.IsNaN(PearsonCorrelation(a, []float64{1})) {
+		t.Fatal("length mismatch did not return NaN")
+	}
+	if !math.IsNaN(PearsonCorrelation([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("zero-variance input did not return NaN")
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	if h := ShannonEntropy(nil); h != 0 {
+		t.Fatalf("empty entropy = %g", h)
+	}
+	if h := ShannonEntropy([]int64{7, 7, 7}); h != 0 {
+		t.Fatalf("constant entropy = %g", h)
+	}
+	// Uniform over 4 values: exactly 2 bits.
+	h := ShannonEntropy([]int64{0, 1, 2, 3})
+	if math.Abs(h-2) > 1e-12 {
+		t.Fatalf("uniform-4 entropy = %g, want 2", h)
+	}
+	// Skewed distribution has lower entropy than uniform.
+	skew := ShannonEntropy([]int64{0, 0, 0, 0, 0, 0, 1, 2})
+	if skew >= ShannonEntropy([]int64{0, 0, 1, 1, 2, 2, 3, 3}) {
+		t.Fatal("skewed entropy not below uniform")
+	}
+}

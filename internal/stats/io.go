@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of Discrete distributions, used to persist seed
+// analyses so the generation stage can run without re-analyzing the trace.
+//
+//	count   uint32 (number of distinct values)
+//	mean    float64
+//	values  count * int64
+//	cum     count * float64
+//	pmf     count * float64 (stored exactly so the rebuilt alias tables
+//	        sample bit-identically to the original)
+
+// WriteTo serializes the distribution. It implements io.WriterTo.
+func (d *Discrete) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := write(uint32(len(d.values))); err != nil {
+		return n, err
+	}
+	if err := write(d.mean); err != nil {
+		return n, err
+	}
+	if err := write(d.values); err != nil {
+		return n, err
+	}
+	if err := write(d.cum); err != nil {
+		return n, err
+	}
+	if err := write(d.pmf()); err != nil {
+		return n, err
+	}
+	n = int64(4 + 8 + 24*len(d.values))
+	return n, bw.Flush()
+}
+
+// ReadDiscrete deserializes a distribution written by WriteTo and rebuilds
+// its sampling tables. The reconstructed distribution samples identically
+// (same values, same probabilities, same alias layout).
+func ReadDiscrete(r io.Reader) (*Discrete, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("stats: reading distribution size: %w", err)
+	}
+	if count == 0 {
+		return nil, errors.New("stats: empty serialized distribution")
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("stats: implausible distribution size %d", count)
+	}
+	d := &Discrete{
+		values: make([]int64, count),
+		cum:    make([]float64, count),
+	}
+	if err := binary.Read(r, binary.LittleEndian, &d.mean); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, d.values); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, d.cum); err != nil {
+		return nil, err
+	}
+	// Validate monotonicity and support ordering before trusting the data.
+	prevCum := 0.0
+	for i := range d.values {
+		if i > 0 && d.values[i] <= d.values[i-1] {
+			return nil, errors.New("stats: serialized support not ascending")
+		}
+		if d.cum[i] < prevCum || d.cum[i] > 1+1e-9 || math.IsNaN(d.cum[i]) {
+			return nil, errors.New("stats: serialized CDF not monotone in [0,1]")
+		}
+		prevCum = d.cum[i]
+	}
+	if math.Abs(d.cum[count-1]-1) > 1e-9 {
+		return nil, errors.New("stats: serialized CDF does not reach 1")
+	}
+	d.cum[count-1] = 1
+	pmf := make([]float64, count)
+	if err := binary.Read(r, binary.LittleEndian, pmf); err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, p := range pmf {
+		if p < 0 || math.IsNaN(p) {
+			return nil, errors.New("stats: serialized pmf invalid")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, errors.New("stats: serialized pmf does not sum to 1")
+	}
+	d.buildAliasFromPMF(pmf)
+	return d, nil
+}

@@ -1,0 +1,187 @@
+// Package workload is the benchmark driver the generated datasets exist
+// for: it executes the cyber-security query mix the paper prescribes —
+// "queries on nodes, edges, paths, and sub-graphs" plus the analytical
+// passes an IDS pipeline runs (PageRank, connected components) — against a
+// property graph, and reports per-class latency and throughput. Running the
+// same workload over datasets from different generators (or different
+// sizes) is precisely the benchmark use the paper targets.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"csb/internal/graph"
+	"csb/internal/graphalgo"
+	"csb/internal/pagerank"
+	"csb/internal/query"
+)
+
+// Spec defines how many operations of each query class to run. The zero
+// value runs nothing; DefaultSpec gives a balanced mix.
+type Spec struct {
+	// NodeLookups are vertex-centric queries: degree lookups with a
+	// top-k-talkers report every 100 lookups.
+	NodeLookups int
+	// EdgeScans are attribute-filtered full edge scans (by protocol, TCP
+	// state, destination port class, and byte volume).
+	EdgeScans int
+	// PathQueries are 2-hop neighborhood expansions alternated with
+	// shortest-path probes between random vertex pairs.
+	PathQueries int
+	// SubgraphOps alternate fan-pattern searches (the scan detector's
+	// shape) with induced-subgraph extraction of 1-hop neighborhoods.
+	SubgraphOps int
+	// Analytics runs full-graph passes: PageRank and weakly connected
+	// components, Analytics times each.
+	Analytics int
+	// Seed drives the deterministic query-parameter generation.
+	Seed uint64
+}
+
+// DefaultSpec returns the balanced benchmark mix.
+func DefaultSpec(seed uint64) Spec {
+	return Spec{
+		NodeLookups: 10000,
+		EdgeScans:   20,
+		PathQueries: 200,
+		SubgraphOps: 50,
+		Analytics:   2,
+		Seed:        seed,
+	}
+}
+
+// ClassResult reports one query class.
+type ClassResult struct {
+	Class   string
+	Ops     int
+	Seconds float64
+	// OpsPerSecond is Ops/Seconds.
+	OpsPerSecond float64
+	// Checksum accumulates query outputs so results are comparable across
+	// runs and the work cannot be optimized away.
+	Checksum uint64
+}
+
+// Result is a full workload run.
+type Result struct {
+	Classes      []ClassResult
+	TotalSeconds float64
+	IndexSeconds float64 // time to build the query engine (CSR indexing)
+}
+
+// Run executes the workload over g. Parameters (vertices probed, ports
+// filtered) derive deterministically from spec.Seed.
+func Run(g *graph.Graph, spec Spec) (*Result, error) {
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		return nil, errors.New("workload: empty graph")
+	}
+	res := &Result{}
+	start := time.Now()
+	eng := query.NewEngine(g)
+	res.IndexSeconds = time.Since(start).Seconds()
+
+	rng := rand.New(rand.NewPCG(spec.Seed, 0x301c))
+	n := g.NumVertices()
+
+	record := func(class string, ops int, fn func() uint64) {
+		if ops <= 0 {
+			return
+		}
+		t0 := time.Now()
+		sum := fn()
+		el := time.Since(t0).Seconds()
+		res.Classes = append(res.Classes, ClassResult{
+			Class: class, Ops: ops, Seconds: el,
+			OpsPerSecond: float64(ops) / el, Checksum: sum,
+		})
+	}
+
+	record("node-lookups", spec.NodeLookups, func() uint64 {
+		var sum uint64
+		for i := 0; i < spec.NodeLookups; i++ {
+			v := graph.VertexID(rng.Int64N(n))
+			in, out := eng.Degree(v)
+			sum += uint64(in)<<1 + uint64(out)
+			if i%100 == 99 {
+				top := eng.TopKByDegree(10)
+				sum += uint64(top[0].Degree)
+			}
+		}
+		return sum
+	})
+
+	record("edge-scans", spec.EdgeScans, func() uint64 {
+		preds := []func(*graph.Edge) bool{
+			func(e *graph.Edge) bool { return e.Props.Protocol == graph.ProtoTCP },
+			func(e *graph.Edge) bool { return e.Props.State == graph.StateS0 },
+			func(e *graph.Edge) bool { return e.Props.DstPort < 1024 },
+			func(e *graph.Edge) bool { return e.Props.OutBytes+e.Props.InBytes > 100000 },
+		}
+		var sum uint64
+		for i := 0; i < spec.EdgeScans; i++ {
+			sum += uint64(eng.CountEdges(preds[i%len(preds)]))
+		}
+		return sum
+	})
+
+	record("path-queries", spec.PathQueries, func() uint64 {
+		var sum uint64
+		for i := 0; i < spec.PathQueries; i++ {
+			if i%2 == 0 {
+				hop := eng.KHop(graph.VertexID(rng.Int64N(n)), 2)
+				sum += uint64(len(hop))
+			} else {
+				d := eng.ShortestPathHops(graph.VertexID(rng.Int64N(n)), graph.VertexID(rng.Int64N(n)))
+				sum += uint64(d + 2) // -1 (unreachable) still contributes
+			}
+		}
+		return sum
+	})
+
+	record("subgraph-ops", spec.SubgraphOps, func() uint64 {
+		var sum uint64
+		for i := 0; i < spec.SubgraphOps; i++ {
+			if i%2 == 0 {
+				fans := eng.FanOut(int64(10 + rng.IntN(50)))
+				sum += uint64(len(fans))
+			} else {
+				v := graph.VertexID(rng.Int64N(n))
+				hood := append(eng.KHop(v, 1), v)
+				sub := eng.Subgraph(hood)
+				sum += uint64(sub.NumEdges())
+			}
+		}
+		return sum
+	})
+
+	record("analytics", spec.Analytics, func() uint64 {
+		var sum uint64
+		for i := 0; i < spec.Analytics; i++ {
+			pr, err := pagerank.Compute(g, pagerank.Options{MaxIter: 30})
+			if err == nil {
+				sum += uint64(pr.Iterations)
+			}
+			cc := graphalgo.WeakComponents(g)
+			sum += uint64(cc.Count)
+		}
+		return sum
+	})
+
+	res.TotalSeconds = time.Since(start).Seconds()
+	sort.Slice(res.Classes, func(i, j int) bool { return res.Classes[i].Class < res.Classes[j].Class })
+	return res, nil
+}
+
+// String renders the result as an aligned table.
+func (r *Result) String() string {
+	out := fmt.Sprintf("index: %.3fs, total: %.3fs\n", r.IndexSeconds, r.TotalSeconds)
+	for _, c := range r.Classes {
+		out += fmt.Sprintf("%-14s ops=%-6d %8.3fs  %12.0f ops/s  checksum=%d\n",
+			c.Class, c.Ops, c.Seconds, c.OpsPerSecond, c.Checksum)
+	}
+	return out
+}

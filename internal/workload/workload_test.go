@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"csb/internal/core"
+	"csb/internal/graph"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+func workloadGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(50, 800, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := core.Analyze(netflow.BuildGraph(netflow.Assemble(pkts, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := (&core.PGPBA{Fraction: 0.5, Seed: 41}).Generate(seed, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunEmptyGraph(t *testing.T) {
+	if _, err := Run(graph.New(0), DefaultSpec(1)); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := Run(graph.New(5), DefaultSpec(1)); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+func TestRunAllClasses(t *testing.T) {
+	g := workloadGraph(t)
+	spec := Spec{NodeLookups: 500, EdgeScans: 4, PathQueries: 20, SubgraphOps: 6, Analytics: 1, Seed: 7}
+	res, err := Run(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 5 {
+		t.Fatalf("classes = %d, want 5", len(res.Classes))
+	}
+	want := map[string]int{
+		"analytics": 1, "edge-scans": 4, "node-lookups": 500,
+		"path-queries": 20, "subgraph-ops": 6,
+	}
+	for _, c := range res.Classes {
+		if want[c.Class] != c.Ops {
+			t.Errorf("%s ops = %d, want %d", c.Class, c.Ops, want[c.Class])
+		}
+		if c.Seconds <= 0 || c.OpsPerSecond <= 0 {
+			t.Errorf("%s timing degenerate: %+v", c.Class, c)
+		}
+		if c.Checksum == 0 {
+			t.Errorf("%s checksum zero (work elided?)", c.Class)
+		}
+	}
+	if res.TotalSeconds <= 0 || res.IndexSeconds < 0 {
+		t.Fatalf("totals: %+v", res)
+	}
+}
+
+func TestRunSkipsZeroClasses(t *testing.T) {
+	g := workloadGraph(t)
+	res, err := Run(g, Spec{NodeLookups: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 1 || res.Classes[0].Class != "node-lookups" {
+		t.Fatalf("classes = %+v", res.Classes)
+	}
+}
+
+func TestRunDeterministicChecksums(t *testing.T) {
+	g := workloadGraph(t)
+	spec := Spec{NodeLookups: 200, EdgeScans: 4, PathQueries: 10, SubgraphOps: 4, Seed: 9}
+	a, err := Run(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Classes {
+		if a.Classes[i].Checksum != b.Classes[i].Checksum {
+			t.Fatalf("%s checksum differs between runs", a.Classes[i].Class)
+		}
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec(3)
+	if s.NodeLookups == 0 || s.EdgeScans == 0 || s.PathQueries == 0 || s.SubgraphOps == 0 || s.Analytics == 0 {
+		t.Fatalf("default spec has empty classes: %+v", s)
+	}
+	if s.Seed != 3 {
+		t.Fatalf("seed = %d", s.Seed)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	g := workloadGraph(t)
+	res, err := Run(g, Spec{NodeLookups: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "node-lookups") || !strings.Contains(s, "ops/s") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -102,7 +102,7 @@ func BenchmarkFig8SingleNodeThroughput(b *testing.B) {
 	seed := seedForBench(b)
 	var tp float64
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.SingleNodeThroughput(seed, 50000, []int{2}, bench.DefaultSeed)
+		pts, err := bench.SingleNodeThroughput(seed, 50000, []int{2}, bench.DefaultSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func BenchmarkFig12StrongScaling(b *testing.B) {
 	seed := seedForBench(b)
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		pts, err := bench.StrongScaling(seed, 100000, []int{2, 8}, 4, bench.DefaultSeed)
+		pts, err := bench.StrongScaling(seed, 100000, []int{2, 8}, 4, bench.DefaultSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

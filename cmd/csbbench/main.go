@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"csb/internal/bench"
+	"csb/internal/cluster"
 	"csb/internal/core"
 	"csb/internal/netflow"
 	"csb/internal/pcap"
@@ -42,8 +45,24 @@ func main() {
 		coresPer  = flag.Int("cores-per-node", 12, "virtual cores per node")
 		nodesArg  = flag.String("node-sweep", "10,20,30,40,50,60", "node counts for fig12")
 		coreSweep = flag.String("core-sweep", "", "core counts for fig8 (default 1..NumCPU)")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of every engine stage to this file (fig8-12)")
+		stageTab  = flag.Bool("stages", false, "print the stage table after cluster experiments (fig8-12)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop := startCPUProfile(*cpuProf)
+		defer stop()
+	}
+	if *memProf != "" {
+		defer writeHeapProfile(*memProf)
+	}
+	var tracer *cluster.Tracer
+	if *traceOut != "" || *stageTab {
+		tracer = cluster.NewTracer()
+	}
 
 	seed := buildSeed(*hosts, *sessions, *rngSeed)
 	log.Printf("seed: %d vertices, %d edges", seed.Graph.NumVertices(), seed.Graph.NumEdges())
@@ -62,11 +81,11 @@ func main() {
 		"fig5":      func() { fig5(seed, *synEdges, *rngSeed) },
 		"fig6":      func() { veracity(seed, sizes, fractions, *rngSeed, true) },
 		"fig7":      func() { veracity(seed, sizes, fractions, *rngSeed, false) },
-		"fig8":      func() { fig8(seed, *synEdges, cores, *rngSeed) },
-		"fig9":      func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "seconds") },
-		"fig10":     func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "throughput") },
-		"fig11":     func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "memory") },
-		"fig12":     func() { fig12(seed, *synEdges, nodeSweep, *coresPer, *rngSeed) },
+		"fig8":      func() { fig8(seed, *synEdges, cores, *rngSeed, tracer) },
+		"fig9":      func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "seconds", tracer) },
+		"fig10":     func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "throughput", tracer) },
+		"fig11":     func() { sizeSweep(seed, sizes, *nodes, *coresPer, *rngSeed, "memory", tracer) },
+		"fig12":     func() { fig12(seed, *synEdges, nodeSweep, *coresPer, *rngSeed, tracer) },
 		"table1":    func() { table1(seed, *rngSeed) },
 		"baselines": func() { baselines(seed, *synEdges, *rngSeed) },
 		"workload":  func() { workloadExp(seed, *synEdges, *rngSeed) },
@@ -78,6 +97,7 @@ func main() {
 			fmt.Printf("\n=== %s ===\n", name)
 			runs[name]()
 		}
+		finishTrace(tracer, *traceOut, *stageTab)
 		return
 	}
 	run, ok := runs[*exp]
@@ -85,6 +105,66 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 	run()
+	finishTrace(tracer, *traceOut, *stageTab)
+}
+
+// startCPUProfile begins pprof CPU capture; the returned func stops it.
+func startCPUProfile(path string) func() {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeHeapProfile dumps a GC-settled heap profile.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// finishTrace writes the collected spans as Chrome trace-event JSON and/or a
+// plain-text stage table. No-op when tracer is nil.
+func finishTrace(tracer *cluster.Tracer, traceOut string, table bool) {
+	if tracer == nil {
+		return
+	}
+	if n := len(tracer.Spans()); n == 0 {
+		log.Printf("trace: no stages recorded (only fig8-12 run on the cluster engine)")
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d stage spans to %s", len(tracer.Spans()), traceOut)
+	}
+	if table {
+		fmt.Println("\n# Stage table")
+		if err := tracer.WriteStageTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func buildSeed(hosts, sessions int, rngSeed uint64) *core.Seed {
@@ -134,8 +214,8 @@ func veracity(seed *core.Seed, sizes []int64, fractions []float64, rngSeed uint6
 	}
 }
 
-func fig8(seed *core.Seed, edges int64, cores []int, rngSeed uint64) {
-	pts, err := bench.SingleNodeThroughput(seed, edges, cores, rngSeed)
+func fig8(seed *core.Seed, edges int64, cores []int, rngSeed uint64, tracer *cluster.Tracer) {
+	pts, err := bench.SingleNodeThroughput(seed, edges, cores, rngSeed, tracer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,8 +226,8 @@ func fig8(seed *core.Seed, edges int64, cores []int, rngSeed uint64) {
 	}
 }
 
-func sizeSweep(seed *core.Seed, sizes []int64, nodes, coresPer int, rngSeed uint64, metric string) {
-	pts, err := bench.SizeSweep(seed, sizes, bench.ClusterConfig{Nodes: nodes, CoresPerNode: coresPer}, rngSeed)
+func sizeSweep(seed *core.Seed, sizes []int64, nodes, coresPer int, rngSeed uint64, metric string, tracer *cluster.Tracer) {
+	pts, err := bench.SizeSweep(seed, sizes, bench.ClusterConfig{Nodes: nodes, CoresPerNode: coresPer, Tracer: tracer}, rngSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -173,8 +253,8 @@ func sizeSweep(seed *core.Seed, sizes []int64, nodes, coresPer int, rngSeed uint
 	}
 }
 
-func fig12(seed *core.Seed, edges int64, nodeCounts []int, coresPer int, rngSeed uint64) {
-	pts, err := bench.StrongScaling(seed, edges, nodeCounts, coresPer, rngSeed)
+func fig12(seed *core.Seed, edges int64, nodeCounts []int, coresPer int, rngSeed uint64, tracer *cluster.Tracer) {
+	pts, err := bench.StrongScaling(seed, edges, nodeCounts, coresPer, rngSeed, tracer)
 	if err != nil {
 		log.Fatal(err)
 	}

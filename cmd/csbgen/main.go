@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"csb"
@@ -44,9 +46,33 @@ func run(args []string, stdout io.Writer) error {
 		out       = fs.String("out", "", "output CSBG file")
 		edgeList  = fs.String("edgelist-out", "", "output TSV edge list")
 		veracity  = fs.Bool("veracity", false, "also report degree/PageRank veracity vs the seed")
+		traceOut  = fs.String("trace", "", "write Chrome trace-event JSON of engine stages to this file")
+		stageTab  = fs.Bool("stages", false, "print a plain-text stage table after generation")
+		cpuProf   = fs.String("cpuprofile", "", "write CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var tracer *csb.Tracer
+	if *traceOut != "" || *stageTab {
+		tracer = csb.NewTracer()
 	}
 
 	var seed *csb.Seed
@@ -81,14 +107,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "seed: %d vertices, %d edges\n", seed.Graph.NumVertices(), seed.Graph.NumEdges())
 
+	// Tracing needs an explicit cluster even in the default single-node
+	// setup, so the engine stages have somewhere to record spans.
 	var c *csb.Cluster
-	if *nodes > 1 || *cores > 0 {
+	if *nodes > 1 || *cores > 0 || tracer != nil {
 		coresPerNode := *cores
 		if coresPerNode == 0 {
-			coresPerNode = 4
+			if *nodes > 1 {
+				coresPerNode = 4
+			} else {
+				coresPerNode = runtime.GOMAXPROCS(0)
+			}
 		}
 		var err error
-		if c, err = csb.NewCluster(csb.ClusterConfig{Nodes: *nodes, CoresPerNode: coresPerNode}); err != nil {
+		cfg := csb.ClusterConfig{Nodes: *nodes, CoresPerNode: coresPerNode, Tracer: tracer}
+		if c, err = csb.NewCluster(cfg); err != nil {
 			return err
 		}
 	}
@@ -142,6 +175,29 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote edge list to %s\n", *edgeList)
+	}
+
+	if tracer != nil {
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, tracer.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d stage spans to %s\n", len(tracer.Spans()), *traceOut)
+		}
+		if *stageTab {
+			fmt.Fprintln(stdout, "# Stage table")
+			if err := tracer.WriteStageTable(stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if *memProf != "" {
+		runtime.GC()
+		if err := writeTo(*memProf, func(w io.Writer) error {
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -75,6 +75,10 @@ type (
 	ClusterConfig = cluster.Config
 	// ClusterMetrics is the virtual-time and memory accounting.
 	ClusterMetrics = cluster.Metrics
+	// Tracer collects stage-level execution spans across clusters.
+	Tracer = cluster.Tracer
+	// StageRecord is one recorded engine stage (op, tasks, timings, bytes).
+	StageRecord = cluster.StageRecord
 	// Initiator is a 2x2 Kronecker initiator matrix.
 	Initiator = kronecker.Initiator
 	// Alert is one anomaly detection.
@@ -184,6 +188,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // cores (0 means all).
 func LocalCluster(maxParallel int) *Cluster {
 	return cluster.Local(maxParallel)
+}
+
+// NewTracer creates a stage-span tracer; assign it to ClusterConfig.Tracer
+// to record every engine stage, then export with WriteChromeTrace or
+// WriteStageTable.
+func NewTracer() *Tracer {
+	return cluster.NewTracer()
 }
 
 // DegreeVeracity computes the degree veracity score of a synthetic graph

@@ -3,6 +3,7 @@ package csb
 import (
 	"bytes"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 )
 
@@ -303,5 +304,81 @@ func TestBTERAndClusteringThroughFacade(t *testing.T) {
 	local, global := ClusteringCoefficients(g)
 	if local <= 0 || global <= 0 {
 		t.Fatalf("BTER clustering degenerate: %g/%g", local, global)
+	}
+}
+
+// Determinism matrix: at a fixed seed and fixed cluster topology, both
+// generators must produce byte-identical graphs no matter how many real
+// goroutines execute the stages. Partitioning depends only on
+// DefaultPartitions, so MaxParallel changes scheduling but never data
+// placement, combine order, or output order (the PR's shuffle-ordering
+// guarantee, end to end through the facade).
+func TestGeneratorDeterminismAcrossParallelism(t *testing.T) {
+	seed := facadeSeed(t)
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, tc := range []struct {
+		name string
+		gen  func(c *Cluster) Generator
+	}{
+		{"PGPBA", func(c *Cluster) Generator { return &PGPBA{Fraction: 0.3, Seed: 11, Cluster: c} }},
+		{"PGSK", func(c *Cluster) Generator { return &PGSK{Seed: 11, Cluster: c} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for _, mp := range parallelisms {
+				c, err := NewCluster(ClusterConfig{
+					Nodes: 2, CoresPerNode: 2, DefaultPartitions: 8, MaxParallel: mp,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := tc.gen(c).Generate(seed, 8000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := g.Write(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+				} else if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("MaxParallel=%d output differs from MaxParallel=%d (%d vs %d bytes)",
+						mp, parallelisms[0], buf.Len(), len(want))
+				}
+			}
+		})
+	}
+}
+
+// The same matrix across repeated runs at one parallelism level: fixed seed
+// in, byte-identical graph out, every time.
+func TestGeneratorDeterminismAcrossRuns(t *testing.T) {
+	seed := facadeSeed(t)
+	for _, tc := range []struct {
+		name string
+		gen  func() Generator
+	}{
+		{"PGPBA", func() Generator { return &PGPBA{Fraction: 0.3, Seed: 13, Cluster: LocalCluster(4)} }},
+		{"PGSK", func() Generator { return &PGSK{Seed: 13, Cluster: LocalCluster(4)} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for run := 0; run < 3; run++ {
+				g, err := tc.gen().Generate(seed, 8000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := g.Write(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+				} else if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("run %d output differs (%d vs %d bytes)", run, buf.Len(), len(want))
+				}
+			}
+		})
 	}
 }

@@ -226,7 +226,8 @@ const fig8Partitions = 24
 // (Figure 8) on a single virtual node with a fixed 24-way workload
 // decomposition. All tasks really execute (bounded by the physical cores);
 // the reported time is the virtual makespan at the requested core count.
-func SingleNodeThroughput(seed *core.Seed, edges int64, coreCounts []int, rngSeed uint64) ([]CorePoint, error) {
+// tracer may be nil; when set it collects every run's stage spans.
+func SingleNodeThroughput(seed *core.Seed, edges int64, coreCounts []int, rngSeed uint64, tracer *cluster.Tracer) ([]CorePoint, error) {
 	var out []CorePoint
 	pgskBase, err := pgskWithFit(seed, nil, rngSeed)
 	if err != nil {
@@ -234,9 +235,10 @@ func SingleNodeThroughput(seed *core.Seed, edges int64, coreCounts []int, rngSee
 	}
 	for _, cores := range coreCounts {
 		build := func() *cluster.Cluster {
-			return cluster.MustNew(cluster.Config{Nodes: 1, CoresPerNode: cores, DefaultPartitions: fig8Partitions})
+			return cluster.MustNew(cluster.Config{Nodes: 1, CoresPerNode: cores, DefaultPartitions: fig8Partitions, Tracer: tracer})
 		}
 		g, m, err := measureMin(build, func(c *cluster.Cluster) (*graph.Graph, error) {
+			defer c.Scope(fmt.Sprintf("pgpba-c%d", cores))()
 			gen := &core.PGPBA{Fraction: 0.5, Seed: rngSeed, Cluster: c}
 			return gen.Generate(seed, edges)
 		})
@@ -248,6 +250,7 @@ func SingleNodeThroughput(seed *core.Seed, edges int64, coreCounts []int, rngSee
 			Throughput: float64(g.NumEdges()) / el})
 
 		gk, mk, err := measureMin(build, func(c *cluster.Cluster) (*graph.Graph, error) {
+			defer c.Scope(fmt.Sprintf("pgsk-c%d", cores))()
 			p := *pgskBase
 			p.Cluster = c
 			return p.Generate(seed, edges)
@@ -280,12 +283,16 @@ type SizePoint struct {
 type ClusterConfig struct {
 	Nodes        int
 	CoresPerNode int
+	// Tracer, when set, collects a stage span for every engine operation of
+	// every run (cmd/csbbench -trace).
+	Tracer *cluster.Tracer
 }
 
 func (cc ClusterConfig) build() *cluster.Cluster {
 	return cluster.MustNew(cluster.Config{
 		Nodes:        cc.Nodes,
 		CoresPerNode: cc.CoresPerNode,
+		Tracer:       cc.Tracer,
 	})
 }
 
@@ -298,6 +305,7 @@ func SizeSweep(seed *core.Seed, sizes []int64, cc ClusterConfig, rngSeed uint64)
 	run := func(name string, makeGen func(c *cluster.Cluster, skipProps bool) (core.Generator, error), size int64) error {
 		// Full run.
 		g, m, err := measureMin(cc.build, func(c *cluster.Cluster) (*graph.Graph, error) {
+			defer c.Scope(fmt.Sprintf("%s-e%d", name, size))()
 			gen, err := makeGen(c, false)
 			if err != nil {
 				return nil, err
@@ -311,6 +319,7 @@ func SizeSweep(seed *core.Seed, sizes []int64, cc ClusterConfig, rngSeed uint64)
 
 		// Structural-only run for the property overhead.
 		_, m2, err := measureMin(cc.build, func(c *cluster.Cluster) (*graph.Graph, error) {
+			defer c.Scope(fmt.Sprintf("%s-e%d-noprops", name, size))()
 			gen, err := makeGen(c, true)
 			if err != nil {
 				return nil, err
@@ -375,8 +384,9 @@ type SpeedupPoint struct {
 // StrongScaling generates a fixed-size graph on virtual clusters of each
 // node count and reports the speedup relative to the smallest count. Each
 // configuration uses the paper's tuning — partitions = 2x its own executor
-// cores — exactly as the Spark deployment would.
-func StrongScaling(seed *core.Seed, edges int64, nodeCounts []int, coresPerNode int, rngSeed uint64) ([]SpeedupPoint, error) {
+// cores — exactly as the Spark deployment would. tracer may be nil; when
+// set it collects every run's stage spans.
+func StrongScaling(seed *core.Seed, edges int64, nodeCounts []int, coresPerNode int, rngSeed uint64, tracer *cluster.Tracer) ([]SpeedupPoint, error) {
 	if len(nodeCounts) == 0 {
 		return nil, fmt.Errorf("strongscaling: no node counts")
 	}
@@ -388,9 +398,11 @@ func StrongScaling(seed *core.Seed, edges int64, nodeCounts []int, coresPerNode 
 				return cluster.MustNew(cluster.Config{
 					Nodes: nodes, CoresPerNode: coresPerNode,
 					DefaultPartitions: 2 * nodes * coresPerNode,
+					Tracer:            tracer,
 				})
 			}
 			_, m, err := measureMin(build, func(c *cluster.Cluster) (*graph.Graph, error) {
+				defer c.Scope(fmt.Sprintf("%s-n%d", name, nodes))()
 				gen, err := makeGen(c)
 				if err != nil {
 					return nil, err

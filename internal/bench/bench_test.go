@@ -88,7 +88,7 @@ func TestVeracityTrends(t *testing.T) {
 
 func TestSingleNodeThroughput(t *testing.T) {
 	s := smallSeed(t)
-	pts, err := SingleNodeThroughput(s, 20000, []int{1, 2}, 3)
+	pts, err := SingleNodeThroughput(s, 20000, []int{1, 2}, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestStrongScalingSpeedup(t *testing.T) {
 	s := smallSeed(t)
 	// Size chosen so per-task work dwarfs scheduler/GC noise; tiny tasks
 	// make the virtual makespan measurement meaningless.
-	pts, err := StrongScaling(s, 800000, []int{2, 8}, 4, 5)
+	pts, err := StrongScaling(s, 800000, []int{2, 8}, 4, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestStrongScalingSpeedup(t *testing.T) {
 			t.Errorf("%s no speedup at 8 nodes: %+v", big.Generator, big)
 		}
 	}
-	if _, err := StrongScaling(s, 100, nil, 4, 5); err == nil {
+	if _, err := StrongScaling(s, 100, nil, 4, 5, nil); err == nil {
 		t.Error("empty node counts accepted")
 	}
 }

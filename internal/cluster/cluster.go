@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -55,14 +56,37 @@ type Config struct {
 	// partition counts grow. Defaults to 300ns — far below a real Spark
 	// driver's, so it bounds rather than dominates.
 	ShuffleCoordPerPartition time.Duration
+	// Tracer, when non-nil, receives every stage span this cluster executes
+	// (independent of RecordStages). One Tracer may be shared by several
+	// clusters; each gets its own trace lane.
+	Tracer *Tracer
 }
 
-// StageRecord describes one executed stage for the optional stage log.
+// StageRecord is one executed stage span: what operation ran, under which
+// caller-propagated label, how its tasks behaved, and what it cost in real
+// and virtual time. It is kept in Metrics.StageLog when Config.RecordStages
+// is set and streamed to Config.Tracer when one is attached.
 type StageRecord struct {
-	Tasks    int
-	Serial   bool
+	Seq    int64  // 1-based stage sequence number within the cluster
+	Op     string // engine operation ("map", "distinct.merge", "shuffle.coord", ...)
+	Label  string // caller scope at execution time (see Cluster.Scope), "/"-joined
+	Tasks  int
+	Serial bool
+	// Virtual-time accounting.
 	Work     time.Duration // summed task wall time
 	Makespan time.Duration // LPT makespan on the virtual cores
+	// Real-time accounting (host wall clock).
+	Start time.Duration // offset of the stage start from cluster creation
+	Real  time.Duration // host wall time of the whole stage
+	// Per-task distribution, after weight apportioning when weights were
+	// given — so Skew reflects data skew, not timer noise.
+	TaskMin  time.Duration
+	TaskMax  time.Duration
+	TaskMean time.Duration
+	Skew     float64 // TaskMax / TaskMean; 1.0 is perfectly balanced
+	// Data movement, estimated from element sizes (the Figure 11 model).
+	BytesIn  int64
+	BytesOut int64
 }
 
 // DefaultPlatformOverheadBytes is the per-node platform overhead used when
@@ -93,10 +117,13 @@ type Metrics struct {
 // single orchestrating goroutine (the operations themselves parallelize
 // internally).
 type Cluster struct {
-	cfg Config
+	cfg      Config
+	epoch    time.Time // creation time; stage Start offsets are relative to it
+	tracerID int       // lane id assigned by cfg.Tracer, when attached
 
 	mu      sync.Mutex
 	metrics Metrics
+	labels  []string // active Scope stack, joined into StageRecord.Label
 }
 
 // New validates cfg, fills defaults and returns a Cluster.
@@ -125,7 +152,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ShuffleCoordPerPartition == 0 {
 		cfg.ShuffleCoordPerPartition = 300 * time.Nanosecond
 	}
-	return &Cluster{cfg: cfg}, nil
+	c := &Cluster{cfg: cfg, epoch: time.Now()}
+	if cfg.Tracer != nil {
+		c.tracerID = cfg.Tracer.register()
+	}
+	return c, nil
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -174,23 +205,54 @@ func (c *Cluster) defaultPartitions(requested int) int {
 	return c.cfg.DefaultPartitions
 }
 
-// runStage executes nTasks tasks on the real worker pool, measures each, and
-// charges the stage's LPT makespan over the virtual cores.
-func (c *Cluster) runStage(nTasks int, task func(i int)) {
-	c.runStageWeighted(nTasks, nil, task)
+// Scope pushes a label segment onto the cluster's stage-label stack and
+// returns the function that pops it. Every stage executed while the segment
+// is active records the "/"-joined stack as its Label, so generator
+// pipelines can name their phases:
+//
+//	defer c.Scope("pgpba")()
+//	...
+//	end := c.Scope("round1")
+//	edges = cluster.Union(edges, grow(sampled)) // spans labeled "pgpba/round1"
+//	end()
+//
+// Scopes follow the single-orchestrator contract of Cluster: push and pop
+// from the goroutine driving the pipeline.
+func (c *Cluster) Scope(label string) func() {
+	c.mu.Lock()
+	c.labels = append(c.labels, label)
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		if n := len(c.labels); n > 0 {
+			c.labels = c.labels[:n-1]
+		}
+		c.mu.Unlock()
+	}
 }
 
-// runStageWeighted is runStage with explicit task weights (typically the
-// partition element counts). When weights are given, the stage's summed
-// wall time is apportioned to tasks proportionally to their weights before
-// the LPT placement: total cost stays real and data skew is respected, but
-// per-task timer noise (a GC pause landing inside one microsecond task)
-// no longer distorts the virtual makespan. Without weights, the raw
-// per-task measurements are used.
-func (c *Cluster) runStageWeighted(nTasks int, weights []int64, task func(i int)) {
+// stageSpec names and sizes one engine stage for the span accounting.
+type stageSpec struct {
+	op       string       // engine operation name
+	weights  []int64      // optional per-task weights (element counts)
+	bytesIn  int64        // estimated input footprint
+	bytesOut func() int64 // evaluated after the tasks complete; nil means 0
+}
+
+// runStage executes nTasks tasks on the real worker pool, measures each, and
+// charges the stage's LPT makespan over the virtual cores.
+//
+// When spec.weights is set (typically the partition element counts), the
+// stage's summed wall time is apportioned to tasks proportionally to their
+// weights before the LPT placement: total cost stays real and data skew is
+// respected, but per-task timer noise (a GC pause landing inside one
+// microsecond task) no longer distorts the virtual makespan. Without
+// weights, the raw per-task measurements are used.
+func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 	if nTasks == 0 {
 		return
 	}
+	realStart := time.Now()
 	durations := make([]time.Duration, nTasks)
 	workers := c.cfg.MaxParallel
 	if workers > nTasks {
@@ -219,6 +281,7 @@ func (c *Cluster) runStageWeighted(nTasks int, weights []int64, task func(i int)
 	for _, d := range durations {
 		total += d
 	}
+	weights := spec.weights
 	if weights != nil && len(weights) == nTasks {
 		var sumW int64
 		for _, w := range weights {
@@ -235,51 +298,103 @@ func (c *Cluster) runStageWeighted(nTasks int, weights []int64, task func(i int)
 		}
 	}
 	span := lptMakespan(durations, c.VirtualCores())
-	c.mu.Lock()
-	c.metrics.Stages++
-	c.metrics.Tasks += int64(nTasks)
-	c.metrics.TotalWork += total
-	c.metrics.Makespan += span
-	if c.cfg.RecordStages {
-		c.metrics.StageLog = append(c.metrics.StageLog,
-			StageRecord{Tasks: nTasks, Work: total, Makespan: span})
+	var bytesOut int64
+	if spec.bytesOut != nil {
+		bytesOut = spec.bytesOut()
 	}
-	c.mu.Unlock()
+	rec := StageRecord{
+		Op:       spec.op,
+		Tasks:    nTasks,
+		Work:     total,
+		Makespan: span,
+		Start:    realStart.Sub(c.epoch),
+		Real:     time.Since(realStart),
+		BytesIn:  spec.bytesIn,
+		BytesOut: bytesOut,
+	}
+	rec.TaskMin, rec.TaskMax, rec.TaskMean, rec.Skew = taskStats(durations)
+	c.commit(rec, func(m *Metrics) {
+		m.Tasks += int64(nTasks)
+		m.TotalWork += total
+		m.Makespan += span
+	})
 }
 
 // runSerial executes fn as a serial section: its wall time is charged to the
 // makespan in full (every virtual core waits), modelling shuffles and
 // driver-side merges.
-func (c *Cluster) runSerial(fn func()) {
-	start := time.Now()
+func (c *Cluster) runSerial(op string, fn func()) {
+	realStart := time.Now()
 	fn()
-	d := time.Since(start)
-	c.mu.Lock()
-	c.metrics.Stages++
-	c.metrics.Tasks++
-	c.metrics.TotalWork += d
-	c.metrics.Makespan += d
-	c.metrics.SerialTime += d
-	if c.cfg.RecordStages {
-		c.metrics.StageLog = append(c.metrics.StageLog,
-			StageRecord{Tasks: 1, Serial: true, Work: d, Makespan: d})
+	d := time.Since(realStart)
+	rec := StageRecord{
+		Op: op, Tasks: 1, Serial: true,
+		Work: d, Makespan: d,
+		Start: realStart.Sub(c.epoch), Real: d,
+		TaskMin: d, TaskMax: d, TaskMean: d, Skew: 1,
 	}
-	c.mu.Unlock()
+	c.commit(rec, func(m *Metrics) {
+		m.Tasks++
+		m.TotalWork += d
+		m.Makespan += d
+		m.SerialTime += d
+	})
 }
 
 // chargeShuffleCoord charges the serial shuffle-coordination cost for a
 // shuffle over p partitions without executing anything.
 func (c *Cluster) chargeShuffleCoord(p int) {
 	d := time.Duration(p) * c.cfg.ShuffleCoordPerPartition
+	now := time.Now()
+	rec := StageRecord{
+		Op: "shuffle.coord", Tasks: 0, Serial: true,
+		Makespan: d,
+		Start:    now.Sub(c.epoch),
+	}
+	c.commit(rec, func(m *Metrics) {
+		m.Makespan += d
+		m.SerialTime += d
+	})
+}
+
+// commit stamps rec with its sequence number and label, folds the stage into
+// the metrics under the lock, and forwards the span to the log and tracer.
+func (c *Cluster) commit(rec StageRecord, fold func(m *Metrics)) {
 	c.mu.Lock()
 	c.metrics.Stages++
-	c.metrics.Makespan += d
-	c.metrics.SerialTime += d
+	rec.Seq = c.metrics.Stages
+	rec.Label = strings.Join(c.labels, "/")
+	fold(&c.metrics)
 	if c.cfg.RecordStages {
-		c.metrics.StageLog = append(c.metrics.StageLog,
-			StageRecord{Tasks: 0, Serial: true, Makespan: d})
+		c.metrics.StageLog = append(c.metrics.StageLog, rec)
 	}
 	c.mu.Unlock()
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.add(c.tracerID, c.epoch.Add(rec.Start), rec)
+	}
+}
+
+// taskStats summarizes a stage's per-task durations.
+func taskStats(durations []time.Duration) (min, max, mean time.Duration, skew float64) {
+	if len(durations) == 0 {
+		return 0, 0, 0, 0
+	}
+	min = durations[0]
+	var total time.Duration
+	for _, d := range durations {
+		total += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	mean = total / time.Duration(len(durations))
+	if mean > 0 {
+		skew = float64(max) / float64(mean)
+	}
+	return min, max, mean, skew
 }
 
 // chargeMemory records the footprint of live bytes spread across the nodes.

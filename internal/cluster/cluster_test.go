@@ -82,7 +82,7 @@ func TestLPTMakespan(t *testing.T) {
 
 func TestMetricsAccumulateAndReset(t *testing.T) {
 	c := MustNew(Config{Nodes: 2, CoresPerNode: 2, MaxParallel: 2})
-	c.runStage(4, func(i int) { time.Sleep(time.Millisecond) })
+	c.runStage(stageSpec{op: "test"}, 4, func(i int) { time.Sleep(time.Millisecond) })
 	m := c.Metrics()
 	if m.Stages != 1 || m.Tasks != 4 {
 		t.Fatalf("metrics = %+v", m)
@@ -93,7 +93,7 @@ func TestMetricsAccumulateAndReset(t *testing.T) {
 	if m.Makespan <= 0 || m.Makespan > m.TotalWork {
 		t.Errorf("Makespan = %v not in (0, TotalWork=%v]", m.Makespan, m.TotalWork)
 	}
-	c.runSerial(func() { time.Sleep(time.Millisecond) })
+	c.runSerial("test.serial", func() { time.Sleep(time.Millisecond) })
 	m = c.Metrics()
 	if m.SerialTime < time.Millisecond {
 		t.Errorf("SerialTime = %v", m.SerialTime)
@@ -114,7 +114,7 @@ func TestVirtualScalingReducesMakespan(t *testing.T) {
 		weights[i] = 1
 	}
 	work := func(c *Cluster) time.Duration {
-		c.runStageWeighted(64, weights, func(i int) {
+		c.runStage(stageSpec{op: "test", weights: weights}, 64, func(i int) {
 			// Busy work ~ a fraction of a millisecond.
 			s := 0
 			for j := 0; j < 200000; j++ {
@@ -145,7 +145,7 @@ func TestChargeMemory(t *testing.T) {
 
 func TestRunStageZeroTasks(t *testing.T) {
 	c := Local(1)
-	c.runStage(0, func(i int) { t.Fatal("task ran") })
+	c.runStage(stageSpec{op: "test"}, 0, func(i int) { t.Fatal("task ran") })
 	if m := c.Metrics(); m.Stages != 0 {
 		t.Fatalf("empty stage recorded: %+v", m)
 	}

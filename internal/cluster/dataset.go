@@ -53,8 +53,20 @@ func newDataset[T any](c *Cluster, parts [][]T) *Dataset[T] {
 	return d
 }
 
+// inSpec builds the stageSpec shared by the element-wise operations: task
+// weights and input bytes come from the source partitions, output bytes are
+// measured from the destination partitions once the stage completes.
+func inSpec[T, U any](op string, in *Dataset[T], out [][]U) stageSpec {
+	return stageSpec{
+		op:       op,
+		weights:  partWeights(in.parts),
+		bytesIn:  bytesOf(in.parts),
+		bytesOut: func() int64 { return bytesOf(out) },
+	}
+}
+
 // partWeights returns per-partition element counts, the task weights used
-// to apportion stage time (see runStageWeighted).
+// to apportion stage time (see runStage).
 func partWeights[T any](parts [][]T) []int64 {
 	w := make([]int64, len(parts))
 	for i, p := range parts {
@@ -111,7 +123,8 @@ func Generate[T any](c *Cluster, n int64, partitions int, seed uint64, gen func(
 			weights[i]++
 		}
 	}
-	c.runStageWeighted(p, weights, func(i int) {
+	c.runStage(stageSpec{op: "generate", weights: weights,
+		bytesOut: func() int64 { return bytesOf(parts) }}, p, func(i int) {
 		count := weights[i]
 		out := make([]T, 0, count)
 		rng := DeriveRNG(seed, uint64(i))
@@ -124,7 +137,7 @@ func Generate[T any](c *Cluster, n int64, partitions int, seed uint64, gen func(
 // Map applies f to every element.
 func Map[T, U any](in *Dataset[T], f func(T) U) *Dataset[U] {
 	parts := make([][]U, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(inSpec("map", in, parts), len(in.parts), func(i int) {
 		src := in.parts[i]
 		dst := make([]U, len(src))
 		for j, v := range src {
@@ -139,7 +152,7 @@ func Map[T, U any](in *Dataset[T], f func(T) U) *Dataset[U] {
 // (e.g. a partition-local RNG).
 func MapPartitions[T, U any](in *Dataset[T], f func(part int, xs []T) []U) *Dataset[U] {
 	parts := make([][]U, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(inSpec("mapPartitions", in, parts), len(in.parts), func(i int) {
 		parts[i] = f(i, in.parts[i])
 	})
 	return newDataset(in.c, parts)
@@ -148,7 +161,7 @@ func MapPartitions[T, U any](in *Dataset[T], f func(part int, xs []T) []U) *Data
 // FlatMap applies f to every element and concatenates the results.
 func FlatMap[T, U any](in *Dataset[T], f func(T) []U) *Dataset[U] {
 	parts := make([][]U, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(inSpec("flatMap", in, parts), len(in.parts), func(i int) {
 		var dst []U
 		for _, v := range in.parts[i] {
 			dst = append(dst, f(v)...)
@@ -161,7 +174,7 @@ func FlatMap[T, U any](in *Dataset[T], f func(T) []U) *Dataset[U] {
 // Filter keeps elements satisfying pred.
 func Filter[T any](in *Dataset[T], pred func(T) bool) *Dataset[T] {
 	parts := make([][]T, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(inSpec("filter", in, parts), len(in.parts), func(i int) {
 		var dst []T
 		for _, v := range in.parts[i] {
 			if pred(v) {
@@ -181,7 +194,7 @@ func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
 		fraction = 0
 	}
 	parts := make([][]T, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(inSpec("sample", in, parts), len(in.parts), func(i int) {
 		rng := DeriveRNG(seed, uint64(i))
 		var dst []T
 		for _, v := range in.parts[i] {
@@ -202,15 +215,21 @@ func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
 // globally distinct. The shard function must be deterministic and must map
 // equal keys to equal values; a short barrier between the phases models the
 // shuffle coordination.
+//
+// Output order is deterministic: both phases emit survivors in first-
+// occurrence order (maps are used only for membership, never iterated), so
+// the result depends only on the input partitioning — never on scheduling
+// or Go's randomized map order. ReduceByKey provides the same guarantee.
 func Distinct[T any, K comparable](in *Dataset[T], key func(T) K, shard func(K) uint64) *Dataset[T] {
 	p := len(in.parts)
 	if p == 0 {
 		return newDataset(in.c, make([][]T, 0))
 	}
 	// Phase 1: local dedup + bucket split. buckets[i][s] holds partition
-	// i's survivors destined for shard s.
+	// i's survivors destined for shard s, in input order.
 	buckets := make([][][]T, p)
-	in.c.runStageWeighted(p, partWeights(in.parts), func(i int) {
+	in.c.runStage(stageSpec{op: "distinct.local", weights: partWeights(in.parts),
+		bytesIn: bytesOf(in.parts)}, p, func(i int) {
 		seen := make(map[K]struct{}, len(in.parts[i]))
 		out := make([][]T, p)
 		for _, v := range in.parts[i] {
@@ -236,7 +255,9 @@ func Distinct[T any, K comparable](in *Dataset[T], key func(T) K, shard func(K) 
 		}
 	}
 	merged := make([][]T, p)
-	in.c.runStageWeighted(p, shardW, func(s int) {
+	in.c.runStage(stageSpec{op: "distinct.merge", weights: shardW,
+		bytesIn:  bytesOf(in.parts),
+		bytesOut: func() int64 { return bytesOf(merged) }}, p, func(s int) {
 		seen := make(map[K]struct{}, 64)
 		var dst []T
 		for i := 0; i < p; i++ {
@@ -265,26 +286,37 @@ type KV[K comparable, V any] struct {
 // vertex). Like Distinct it is a two-phase parallel hash shuffle: map-side
 // combine per partition, then per-shard merge, with the coordination charged
 // serially per partition. combine must be associative and commutative.
+//
+// Output order and combine application order are deterministic: both phases
+// emit keys in first-occurrence order (partition-major in the merge), using
+// their maps only for lookup, never for iteration. Repeated runs over the
+// same partitioning therefore produce bit-identical output even when combine
+// is only approximately associative — float addition included — which is
+// what keeps distributed PageRank reproducible run to run.
 func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint64, combine func(a, b V) V) *Dataset[KV[K, V]] {
 	p := len(in.parts)
 	if p == 0 {
 		return newDataset(in.c, make([][]KV[K, V], 0))
 	}
-	// Phase 1: map-side combine + bucket split.
+	// Phase 1: map-side combine + bucket split, emitting each partition's
+	// keys in first-occurrence order.
 	buckets := make([][][]KV[K, V], p)
-	in.c.runStageWeighted(p, partWeights(in.parts), func(i int) {
+	in.c.runStage(stageSpec{op: "reduceByKey.combine", weights: partWeights(in.parts),
+		bytesIn: bytesOf(in.parts)}, p, func(i int) {
 		local := make(map[K]V, len(in.parts[i]))
+		order := make([]K, 0, len(in.parts[i]))
 		for _, kv := range in.parts[i] {
 			if v, ok := local[kv.Key]; ok {
 				local[kv.Key] = combine(v, kv.Val)
 			} else {
 				local[kv.Key] = kv.Val
+				order = append(order, kv.Key)
 			}
 		}
 		out := make([][]KV[K, V], p)
-		for k, v := range local {
+		for _, k := range order {
 			s := shard(k) % uint64(p)
-			out[s] = append(out[s], KV[K, V]{Key: k, Val: v})
+			out[s] = append(out[s], KV[K, V]{Key: k, Val: local[k]})
 		}
 		buckets[i] = out
 	})
@@ -295,22 +327,26 @@ func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint6
 			shardW[s] += int64(len(buckets[i][s]))
 		}
 	}
-	// Phase 2: per-shard reduce.
+	// Phase 2: per-shard reduce, again in first-occurrence order.
 	merged := make([][]KV[K, V], p)
-	in.c.runStageWeighted(p, shardW, func(s int) {
+	in.c.runStage(stageSpec{op: "reduceByKey.merge", weights: shardW,
+		bytesIn:  bytesOf(in.parts),
+		bytesOut: func() int64 { return bytesOf(merged) }}, p, func(s int) {
 		acc := make(map[K]V, 64)
+		var order []K
 		for i := 0; i < p; i++ {
 			for _, kv := range buckets[i][s] {
 				if v, ok := acc[kv.Key]; ok {
 					acc[kv.Key] = combine(v, kv.Val)
 				} else {
 					acc[kv.Key] = kv.Val
+					order = append(order, kv.Key)
 				}
 			}
 		}
-		out := make([]KV[K, V], 0, len(acc))
-		for k, v := range acc {
-			out = append(out, KV[K, V]{Key: k, Val: v})
+		out := make([]KV[K, V], 0, len(order))
+		for _, k := range order {
+			out = append(out, KV[K, V]{Key: k, Val: acc[k]})
 		}
 		merged[s] = out
 	})
@@ -322,7 +358,8 @@ func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint6
 // then partials fold serially.
 func Reduce[T any](in *Dataset[T], id T, combine func(a, b T) T) T {
 	partials := make([]T, len(in.parts))
-	in.c.runStageWeighted(len(in.parts), partWeights(in.parts), func(i int) {
+	in.c.runStage(stageSpec{op: "reduce", weights: partWeights(in.parts),
+		bytesIn: bytesOf(in.parts)}, len(in.parts), func(i int) {
 		acc := id
 		for _, v := range in.parts[i] {
 			acc = combine(acc, v)
@@ -402,7 +439,9 @@ func Coalesce[T any](in *Dataset[T], p int) *Dataset[T] {
 		sort.Ints(g)
 	}
 	parts := make([][]T, p)
-	in.c.runStageWeighted(p, loads, func(j int) {
+	in.c.runStage(stageSpec{op: "coalesce", weights: loads,
+		bytesIn:  bytesOf(in.parts),
+		bytesOut: func() int64 { return bytesOf(parts) }}, p, func(j int) {
 		dst := make([]T, 0, loads[j])
 		for _, i := range groups[j] {
 			dst = append(dst, in.parts[i]...)

@@ -370,3 +370,85 @@ func TestReduceByKeyEmpty(t *testing.T) {
 		t.Fatal("empty reduce produced elements")
 	}
 }
+
+// reduceByKeyFloatRun executes a float-summing shuffle pipeline and returns
+// the collected output in emission order (not sorted — the order itself is
+// part of the contract under test).
+func reduceByKeyFloatRun(maxParallel int) []KV[int, float64] {
+	c := MustNew(Config{Nodes: 2, CoresPerNode: 2, DefaultPartitions: 8, MaxParallel: maxParallel})
+	d := Parallelize(c, seq(5000), 16)
+	kvs := Map(d, func(x int) KV[int, float64] {
+		// Values chosen so that summing in different orders gives different
+		// floating-point results: rounding makes + non-associative here.
+		return KV[int, float64]{Key: x % 97, Val: 1.0/float64(x+1) + float64(x)*1e-7}
+	})
+	sums := ReduceByKey(kvs, func(k int) uint64 {
+		z := uint64(k) * 0x9e3779b97f4a7c15
+		return z ^ (z >> 29)
+	}, func(a, b float64) float64 { return a + b })
+	return Collect(sums)
+}
+
+// Regression: ReduceByKey used to emit both shuffle phases in Go map
+// iteration order, so repeated identical runs produced differently-ordered
+// output and (for float combines) bitwise-different sums. Output order and
+// combine application order are now first-occurrence order.
+func TestReduceByKeyDeterministicAcrossRuns(t *testing.T) {
+	first := reduceByKeyFloatRun(0)
+	for run := 0; run < 5; run++ {
+		got := reduceByKeyFloatRun(0)
+		if len(got) != len(first) {
+			t.Fatalf("run %d: %d pairs, want %d", run, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("run %d: pair %d = %+v, want %+v (order or float sum drift)",
+					run, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// Determinism must not depend on how many goroutines execute the stages:
+// partitioning is fixed by DefaultPartitions, so MaxParallel only changes
+// scheduling, never data placement or order.
+func TestReduceByKeyDeterministicAcrossParallelism(t *testing.T) {
+	first := reduceByKeyFloatRun(1)
+	for _, mp := range []int{2, 4, 16} {
+		got := reduceByKeyFloatRun(mp)
+		if len(got) != len(first) {
+			t.Fatalf("MaxParallel=%d: %d pairs, want %d", mp, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("MaxParallel=%d: pair %d = %+v, want %+v", mp, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// Distinct's phases emit in slice order (maps are membership-only), so its
+// output must likewise be byte-identical across runs and parallelism.
+func TestDistinctDeterministicAcrossRuns(t *testing.T) {
+	run := func(maxParallel int) []int {
+		c := MustNew(Config{Nodes: 2, CoresPerNode: 2, DefaultPartitions: 8, MaxParallel: maxParallel})
+		d := Parallelize(c, seq(3000), 16)
+		d = Map(d, func(x int) int { return x % 271 })
+		return Collect(Distinct(d, func(x int) int { return x }, func(k int) uint64 {
+			z := uint64(k) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 27)
+		}))
+	}
+	first := run(0)
+	for _, mp := range []int{0, 1, 4} {
+		got := run(mp)
+		if len(got) != len(first) {
+			t.Fatalf("MaxParallel=%d: %d elems, want %d", mp, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("MaxParallel=%d: elem %d = %d, want %d", mp, i, got[i], first[i])
+			}
+		}
+	}
+}

@@ -70,6 +70,7 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	if c == nil {
 		c = cluster.Local(0)
 	}
+	defer c.Scope("pgpba")()
 
 	// G' <- G (line 1).
 	edges := cluster.Parallelize(c, append([]graph.Edge(nil), seed.Graph.Edges()...), 0)
@@ -89,6 +90,7 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 			break
 		}
 		round++
+		endRound := c.Scope(fmt.Sprintf("round%d", round))
 		fraction := p.Fraction
 		if expect := fraction * float64(have) * perVertex; expect > float64(desiredEdges-have) {
 			fraction = float64(desiredEdges-have) / (float64(have) * perVertex)
@@ -103,6 +105,7 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 		sampled := sampleWithReplacement(edges, fraction, p.Seed^round*0x9e3779b97f4a7c15)
 		nNew := sampled.Count()
 		if nNew == 0 {
+			endRound()
 			continue
 		}
 		// Lines 4-5: create empty vertices, one per sampled edge, with
@@ -158,12 +161,15 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 		if limit := c.Config().DefaultPartitions; edges.NumPartitions() > 4*limit {
 			edges = cluster.Coalesce(edges, limit)
 		}
+		endRound()
 	}
 
 	// Rebalance before the dominant property-synthesis stage: the growth
 	// rounds leave a mix of heavy and near-empty partitions behind.
 	if limit := c.Config().DefaultPartitions; edges.NumPartitions() > limit {
+		endRebalance := c.Scope("rebalance")
 		edges = cluster.Coalesce(edges, limit)
+		endRebalance()
 	}
 
 	// Lines 15-20: property synthesis for every edge.
@@ -214,6 +220,7 @@ func sampleWithReplacement(ds *cluster.Dataset[graph.Edge], fraction float64, se
 // assignProperties samples a fresh Netflow attribute set for every edge
 // (Figure 2 lines 15-20 and Figure 3 lines 13-18), in O(|E| x |properties|).
 func assignProperties(edges *cluster.Dataset[graph.Edge], props *PropertyModel, seed uint64, independent bool) *cluster.Dataset[graph.Edge] {
+	defer edges.Cluster().Scope("props")()
 	return cluster.MapPartitions(edges, func(part int, es []graph.Edge) []graph.Edge {
 		rng := cluster.DeriveRNG(seed, uint64(part))
 		out := make([]graph.Edge, len(es))

@@ -93,6 +93,8 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 		return nil, err
 	}
 
+	defer c.Scope("pgsk")()
+
 	// Line 7: parallel stochastic Kronecker expansion with distinct edges.
 	gk, err := kronecker.GenerateParallel(c, init, k, distinctTarget, p.Seed^0x5109)
 	if err != nil {
@@ -102,6 +104,7 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	// Lines 8-12: duplicate each structural edge per the out-degree
 	// distribution, restoring the multigraph nature of Netflow data.
 	outDeg := seed.OutDegree
+	endDup := c.Scope("duplicate")
 	base := cluster.Parallelize(c, append([]graph.Edge(nil), gk.Edges()...), 0)
 	edges := cluster.MapPartitions(base, func(part int, es []graph.Edge) []graph.Edge {
 		rng := cluster.DeriveRNG(p.Seed^0xd0b1e, uint64(part))
@@ -117,6 +120,7 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 		}
 		return out
 	})
+	endDup()
 
 	// Lines 13-18: property synthesis.
 	if !p.SkipProperties {

@@ -63,6 +63,16 @@ func (s *StreamDetector) Add(f netflow.Flow) {
 		s.closeWindow()
 		s.start += s.window
 		s.windowIdx++
+		// Once the buffer is drained, the remaining windows up to the flow
+		// are all empty: closeWindow would no-op through each. Jump straight
+		// to the flow's window instead of iterating O(gap/window) times —
+		// sparse traces (e.g. a multi-day quiet period at a one-minute
+		// cadence) would otherwise spin through millions of empty windows.
+		if len(s.flows) == 0 && f.StartMicros >= s.start+s.window {
+			k := (f.StartMicros - s.start) / s.window
+			s.start += k * s.window
+			s.windowIdx += k
+		}
 	}
 	s.flows = append(s.flows, f)
 }

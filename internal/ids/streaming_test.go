@@ -141,3 +141,36 @@ func TestStreamMatchesOfflineOnSingleWindow(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a large time gap between flows must not make Add iterate one
+// empty window at a time. A two-year quiet period at a one-minute cadence is
+// ~10^6 windows; the fast-forward makes it O(1). The test both finishes
+// quickly and checks the semantics across the jump: the gap breaks
+// suppression, so the resumed attack re-alerts, and window alignment is
+// preserved.
+func TestStreamSparseTraceFastForward(t *testing.T) {
+	const window = 60 * 1e6
+	const gap int64 = 2 * 365 * 24 * 3600 * 1e6 // two years in microseconds
+	var flows []netflow.Flow
+	flows = append(flows, streamScan(0x0a000004, 300, 0, 50*1e6)...)
+	flows = append(flows, streamScan(0x0a000004, 300, gap, 50*1e6)...)
+	alerts := collectAlerts(t, window, flows)
+	if len(alerts) != 2 {
+		t.Fatalf("sparse trace: %d alerts, want 2 (gap breaks suppression)", len(alerts))
+	}
+
+	// White-box: after the jump the window origin must stay aligned to the
+	// first flow's start plus a whole number of windows.
+	s := NewStreamDetector(DefaultThresholds(), window, func(Alert) {})
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 7, EndMicros: 8, OutPkts: 1})
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 7 + gap, EndMicros: 8 + gap, OutPkts: 1})
+	if (s.start-7)%window != 0 {
+		t.Fatalf("window origin %d not aligned to first flow + k*window", s.start)
+	}
+	if s.start > 7+gap || 7+gap >= s.start+window {
+		t.Fatalf("flow at %d outside current window [%d, %d)", 7+gap, s.start, s.start+window)
+	}
+	if want := (s.start - 7) / window; s.windowIdx != want {
+		t.Fatalf("windowIdx = %d, want %d", s.windowIdx, want)
+	}
+}

@@ -205,6 +205,7 @@ func GenerateParallel(c *cluster.Cluster, in Initiator, k int, edges int64, seed
 	type pair = [2]int64
 	var ds *cluster.Dataset[pair]
 	round := uint64(0)
+	defer c.Scope("kronecker")()
 	for {
 		var have int64
 		if ds != nil {
@@ -214,6 +215,7 @@ func GenerateParallel(c *cluster.Cluster, in Initiator, k int, edges int64, seed
 		if missing <= 0 {
 			break
 		}
+		endRound := c.Scope(fmt.Sprintf("round%d", round+1))
 		// Overprovision slightly: collisions shrink the distinct yield.
 		toDrop := missing + missing/8 + 1
 		fresh := cluster.Generate(c, toDrop, 0, seed^(round+1)*0x9e37, func(rng *rand.Rand, emit func(pair), count int64) {
@@ -238,6 +240,7 @@ func GenerateParallel(c *cluster.Cluster, in Initiator, k int, edges int64, seed
 				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 				return z ^ (z >> 27)
 			})
+		endRound()
 		round++
 	}
 	all := cluster.Collect(ds)

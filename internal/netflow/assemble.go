@@ -211,6 +211,10 @@ func (a *Assembler) Finish() []Flow {
 	}
 	out := a.done
 	a.done = nil
+	// Reset the sweep clock too: a reused Assembler fed a trace that starts
+	// earlier than the previous one ended must not suppress idle sweeps (or,
+	// with a stale high-water mark, trip one on the very first packet).
+	a.lastSweep = 0
 	sort.Slice(out, func(i, j int) bool { return out[i].StartMicros < out[j].StartMicros })
 	return out
 }

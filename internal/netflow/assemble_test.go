@@ -243,3 +243,29 @@ func TestAssembleConservation(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Finish must reset the sweep clock. A reused Assembler whose
+// previous trace ended at a high timestamp used to keep that high-water mark
+// in lastSweep, silently suppressing every idle sweep of a later trace that
+// starts earlier — idle flows then accumulated in the active map until Finish.
+func TestAssemblerReuseResetsSweepClock(t *testing.T) {
+	const idle = 60 * 1e6
+	a := NewAssembler(idle)
+
+	// First trace ends far in the future.
+	a.Add(pkt(5000*1e6, hostA, hostB, pcap.IPProtoUDP, 5000, 53, 0, 70))
+	if got := len(a.Finish()); got != 1 {
+		t.Fatalf("first trace: got %d flows, want 1", got)
+	}
+
+	// Second trace restarts near zero. The first tuple goes idle; a later
+	// packet on a different tuple must sweep it out of the active set.
+	a.Add(pkt(0, hostA, hostB, pcap.IPProtoUDP, 6000, 53, 0, 70))
+	a.Add(pkt(200*1e6, hostB, hostA, pcap.IPProtoUDP, 7000, 123, 0, 70))
+	if got := len(a.active); got != 1 {
+		t.Fatalf("active flows after sweep window = %d, want 1 (idle flow swept)", got)
+	}
+	if flows := a.Finish(); len(flows) != 2 {
+		t.Fatalf("second trace: got %d flows, want 2", len(flows))
+	}
+}

@@ -2,6 +2,7 @@ package pagerank
 
 import (
 	"errors"
+	"fmt"
 
 	"csb/internal/cluster"
 	"csb/internal/graph"
@@ -40,8 +41,10 @@ func ComputeDistributed(c *cluster.Cluster, g *graph.Graph, opt Options) (*Resul
 		return z ^ (z >> 29)
 	}
 
+	defer c.Scope("pagerank")()
 	res := &Result{}
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		endIter := c.Scope(fmt.Sprintf("iter%d", iter+1))
 		var dangling float64
 		for v := int64(0); v < n; v++ {
 			if outDeg[v] == 0 {
@@ -76,6 +79,7 @@ func ComputeDistributed(c *cluster.Cluster, g *graph.Graph, opt Options) (*Resul
 		}
 		rank = next
 		res.Iterations = iter + 1
+		endIter()
 		if diff < opt.Tol {
 			res.Converged = true
 			break

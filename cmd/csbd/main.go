@@ -1,0 +1,107 @@
+// Command csbd is the csb dataset-generation daemon: it accepts generation
+// jobs over HTTP, runs them on a bounded worker pool with per-job
+// cancellation, and serves the resulting edge-list artifacts from a
+// content-addressed cache.
+//
+// Usage:
+//
+//	csbd -addr :8080 -workers 4 -queue 32 -cache-bytes 268435456
+//
+// Job lifecycle:
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"generator":"pgsk","edges":20000,"seed":7}'
+//	curl localhost:8080/v1/jobs/j1
+//	curl localhost:8080/v1/jobs/j1/artifact -o syn.tsv
+//	curl -X DELETE localhost:8080/v1/jobs/j1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"csb/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "csbd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the daemon; factored from main for testing. When ready is
+// non-nil it receives the bound listen address once the server accepts
+// connections (tests pass ":0" and read the port from here); closing stop
+// triggers the same graceful shutdown as SIGINT (nil blocks forever).
+func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("csbd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 2, "concurrent generation workers")
+		queue      = fs.Int("queue", 16, "queued-job bound (full queue sheds with 429)")
+		jobTimeout = fs.Duration("job-timeout", 10*time.Minute, "per-job deadline")
+		maxEdges   = fs.Int64("max-edges", 50_000_000, "largest admissible target edge count")
+		cacheBytes = fs.Int64("cache-bytes", serve.DefaultCacheBytes, "in-memory artifact cache budget")
+		cacheDir   = fs.String("cache-dir", "", "disk spill directory for evicted artifacts (empty disables)")
+		cacheDisk  = fs.Int64("cache-disk-bytes", 0, "disk spill budget (0 = 4x cache-bytes)")
+		nodes      = fs.Int("nodes", 1, "virtual cluster nodes jobs run on")
+		cores      = fs.Int("cores", 0, "cores per virtual node (0 = all local cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		MaxEdges:       *maxEdges,
+		CacheBytes:     *cacheBytes,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheDisk,
+		Shape:          serve.EngineShape{Nodes: *nodes, CoresPerNode: *cores},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "csbd listening on %s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, cancel running
+	// jobs via srv.Close (deferred), drain connections.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	case <-stop:
+	}
+	fmt.Fprintln(stdout, "csbd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon boots the daemon on an ephemeral port and returns its base
+// URL plus a shutdown function.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var out bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { errCh <- run(args, &out, ready, stop) }()
+	var once sync.Once
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			once.Do(func() { close(stop) })
+			select {
+			case err := <-errCh:
+				errCh <- err // keep for a second shutdown call
+				return err
+			case <-time.After(15 * time.Second):
+				return fmt.Errorf("daemon did not shut down")
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer shutdown()
+
+	// Liveness.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Submit a tiny PGSK job and poll it to completion.
+	body := `{"generator":"pgsk","hosts":15,"sessions":150,"seed":6,"edges":2000}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("job state = %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Download the artifact.
+	r, err := http.Get(base + "/v1/jobs/" + st.ID + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("src\tdst\t")) {
+		t.Fatalf("artifact is not a TSV edge list: %.40q", data)
+	}
+
+	// The metrics endpoint reflects the completed job.
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(metrics), "csbd_jobs_completed_total 1") {
+		t.Fatalf("metrics missing completion: %s", metrics)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-notaflag"}, &out, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-workers", "-3", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}

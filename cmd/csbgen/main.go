@@ -19,6 +19,7 @@ import (
 
 	"csb"
 	"csb/internal/core"
+	"csb/internal/serve"
 )
 
 func main() {
@@ -68,6 +69,30 @@ func run(args []string, stdout io.Writer) error {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+
+	// Synthetic-seed runs flow through the shared job-spec parser, so the CLI
+	// validates parameters exactly like csbd admission control and can report
+	// the content address its outputs would have in the daemon's cache.
+	var jobSpec *serve.Spec
+	if *seedFile == "" && *seedGraph == "" {
+		spec := serve.Spec{
+			Generator: *gen,
+			Hosts:     *hosts,
+			Sessions:  *sessions,
+			Seed:      *rngSeed,
+			Fraction:  *fraction,
+			Edges:     *edges,
+			Format:    serve.FormatTSV,
+		}
+		if err := spec.Normalize(); err != nil {
+			return err
+		}
+		if *nodes == 1 && *cores == 0 {
+			// Default engine shape only: artifact identity assumes the
+			// single-node, all-cores topology csbd jobs run on.
+			jobSpec = &spec
+		}
 	}
 
 	var tracer *csb.Tracer
@@ -169,12 +194,22 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote graph to %s\n", *out)
+		if jobSpec != nil {
+			s := *jobSpec
+			s.Format = serve.FormatCSBG
+			fmt.Fprintf(stdout, "artifact csbg: %s\n", s.ID())
+		}
 	}
 	if *edgeList != "" {
 		if err := writeTo(*edgeList, g.WriteEdgeList); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote edge list to %s\n", *edgeList)
+		if jobSpec != nil {
+			s := *jobSpec
+			s.Format = serve.FormatTSV
+			fmt.Fprintf(stdout, "artifact tsv: %s\n", s.ID())
+		}
 	}
 
 	if tracer != nil {

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"csb"
 )
@@ -95,6 +100,115 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-notaflag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestArtifactBytesMatchServer is the CLI/daemon determinism cross-check:
+// the artifact csbd serves for a job spec must be byte-identical to what
+// csbgen writes for the same flags — on the cache-miss (first build) and the
+// cache-hit (second submit) paths — and both sides must print/report the
+// same content address.
+func TestArtifactBytesMatchServer(t *testing.T) {
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "syn.tsv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-hosts", "15", "-sessions", "150", "-gen", "pgsk",
+		"-edges", "2000", "-seed", "9", "-edgelist-out", edgePath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliBytes, err := os.ReadFile(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cliID string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "artifact tsv: "); ok {
+			cliID = rest
+		}
+	}
+	if cliID == "" {
+		t.Fatalf("csbgen did not print an artifact id: %q", out.String())
+	}
+
+	srv, err := csb.NewServer(csb.ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func() csb.JobStatus {
+		t.Helper()
+		body := `{"generator":"pgsk","hosts":15,"sessions":150,"seed":9,"edges":2000,"format":"tsv"}`
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st csb.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	fetch := func(id string) []byte {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st csb.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			switch st.State {
+			case "done":
+				r, err := http.Get(ts.URL + st.ArtifactURL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := io.ReadAll(r.Body)
+				r.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			case "failed", "canceled":
+				t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Cache miss: the daemon generates from scratch.
+	st := submit()
+	if st.CacheHit {
+		t.Fatal("first submit reported a cache hit")
+	}
+	if st.ArtifactID != cliID {
+		t.Fatalf("artifact identity disagrees: CLI %s, daemon %s", cliID, st.ArtifactID)
+	}
+	if got := fetch(st.ID); !bytes.Equal(got, cliBytes) {
+		t.Fatalf("cache-miss artifact differs from csbgen output (%d vs %d bytes)", len(got), len(cliBytes))
+	}
+
+	// Cache hit: the same spec must come straight from the cache, unchanged.
+	st = submit()
+	if !st.CacheHit {
+		t.Fatal("second submit missed the cache")
+	}
+	if got := fetch(st.ID); !bytes.Equal(got, cliBytes) {
+		t.Fatal("cache-hit artifact differs from csbgen output")
 	}
 }
 

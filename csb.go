@@ -23,6 +23,7 @@
 package csb
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -39,6 +40,7 @@ import (
 	"csb/internal/pcap"
 	"csb/internal/pso"
 	"csb/internal/query"
+	"csb/internal/serve"
 	"csb/internal/stats"
 	"csb/internal/workload"
 )
@@ -91,6 +93,21 @@ type (
 	Scenario = attack.Scenario
 	// QueryEngine answers workload queries over a property graph.
 	QueryEngine = query.Engine
+	// Server is the dataset-generation service behind cmd/csbd: a bounded
+	// job queue, a content-addressed artifact cache and an HTTP API.
+	Server = serve.Server
+	// ServerConfig parameterizes a Server (worker pool, queue depth,
+	// admission caps, cache budgets, engine shape).
+	ServerConfig = serve.Config
+	// JobSpec is a generation-job specification; its content address
+	// (JobSpec.ID) keys the artifact cache and is shared with csbgen.
+	JobSpec = serve.Spec
+	// JobStatus is the wire representation of a submitted job.
+	JobStatus = serve.JobStatus
+	// ServerMetrics is a point-in-time snapshot of service counters.
+	ServerMetrics = serve.Metrics
+	// EngineShape fixes the virtual-cluster topology server jobs run on.
+	EngineShape = serve.EngineShape
 )
 
 // Attack classes (re-exported from the ids package).
@@ -195,6 +212,18 @@ func LocalCluster(maxParallel int) *Cluster {
 // WriteStageTable.
 func NewTracer() *Tracer {
 	return cluster.NewTracer()
+}
+
+// NewServer starts the dataset-generation service of cmd/csbd: workers are
+// running on return; mount Handler on an http.Server and Close to drain.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return serve.New(cfg)
+}
+
+// BuildArtifact generates the artifact bytes for a job spec on cluster c —
+// the same bytes csbd caches and serves for spec (normalize the spec first).
+func BuildArtifact(ctx context.Context, spec JobSpec, c *Cluster) ([]byte, error) {
+	return serve.BuildArtifact(ctx, spec, c)
 }
 
 // DegreeVeracity computes the degree veracity score of a synthetic graph

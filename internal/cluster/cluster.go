@@ -23,6 +23,7 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -60,6 +61,12 @@ type Config struct {
 	// (independent of RecordStages). One Tracer may be shared by several
 	// clusters; each gets its own trace lane.
 	Tracer *Tracer
+	// Context, when non-nil, bounds every stage this cluster executes: once
+	// it is cancelled (or its deadline passes), running stages stop picking
+	// up new partition tasks and Err reports the cause. Pipelines check Err
+	// between stages, so a cancelled generation stops between tasks instead
+	// of running to completion. Nil means context.Background (never done).
+	Context context.Context
 }
 
 // StageRecord is one executed stage span: what operation ran, under which
@@ -180,6 +187,18 @@ func Local(maxParallel int) *Cluster {
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// Err reports whether the cluster's bounding Context has ended: nil while
+// execution may continue, the context's error (context.Canceled or
+// context.DeadlineExceeded) once it must stop. Engine stages poll it between
+// partition tasks; generator pipelines poll it between stages and propagate
+// the error to their caller.
+func (c *Cluster) Err() error {
+	if c.cfg.Context == nil {
+		return nil
+	}
+	return c.cfg.Context.Err()
+}
+
 // VirtualCores returns Nodes * CoresPerNode.
 func (c *Cluster) VirtualCores() int { return c.cfg.Nodes * c.cfg.CoresPerNode }
 
@@ -264,11 +283,18 @@ func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 		idx <- i
 	}
 	close(idx)
+	ctx := c.cfg.Context
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Cancellation boundary: a cancelled cluster stops
+				// picking up partition tasks. Already-running tasks
+				// finish; the pipeline observes Err between stages.
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				start := time.Now()
 				task(i)
 				durations[i] = time.Since(start)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -148,5 +149,25 @@ func TestRunStageZeroTasks(t *testing.T) {
 	c.runStage(stageSpec{op: "test"}, 0, func(i int) { t.Fatal("task ran") })
 	if m := c.Metrics(); m.Stages != 0 {
 		t.Fatalf("empty stage recorded: %+v", m)
+	}
+}
+
+func TestClusterContextStopsStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := MustNew(Config{Nodes: 1, CoresPerNode: 2, Context: ctx})
+	if c.Err() != nil {
+		t.Fatalf("live context reports %v", c.Err())
+	}
+	// A live cluster executes normally.
+	if got := Collect(Map(Parallelize(c, seq(100), 4), func(x int) int { return x + 1 })); len(got) != 100 {
+		t.Fatalf("pre-cancel map produced %d elements", len(got))
+	}
+	cancel()
+	if c.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", c.Err())
+	}
+	// Post-cancel stages stop picking up tasks: output partitions stay empty.
+	if got := Collect(Map(Parallelize(c, seq(100), 4), func(x int) int { return x + 1 })); len(got) != 0 {
+		t.Fatalf("cancelled map still produced %d elements", len(got))
 	}
 }

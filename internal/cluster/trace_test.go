@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -216,5 +217,48 @@ func TestScopeNesting(t *testing.T) {
 	}
 	if !bare {
 		t.Error("no unlabeled span after scopes popped")
+	}
+}
+
+// TestTracerConcurrentClusterAppends drives several clusters into one shared
+// tracer from concurrent goroutines — the csbd serving pattern, where every
+// simultaneous job owns a cluster but all stream spans into the daemon's
+// tracer. Run under -race this is the data-race check for Tracer.add/Spans.
+func TestTracerConcurrentClusterAppends(t *testing.T) {
+	tr := NewTracer()
+	const jobs = 8
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := MustNew(Config{Nodes: 1, CoresPerNode: 2, DefaultPartitions: 4, Tracer: tr})
+			runTracedPipeline(c)
+		}()
+	}
+	// Readers race the writers: snapshotting and exporting mid-run must be
+	// safe, exactly like a /metrics scrape during active jobs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Spans()
+			var buf bytes.Buffer
+			tr.WriteChromeTrace(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	lanes := map[int]bool{}
+	for _, s := range spans {
+		lanes[s.Cluster] = true
+	}
+	if len(lanes) != jobs {
+		t.Fatalf("spans cover %d lanes, want %d", len(lanes), jobs)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"csb/internal/cluster"
 	"csb/internal/graph"
@@ -59,8 +60,10 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	if seed == nil || seed.Graph == nil || seed.Graph.NumEdges() == 0 {
 		return nil, errors.New("pgpba: empty seed")
 	}
-	if p.Fraction <= 0 {
-		return nil, errors.New("pgpba: fraction must be positive")
+	// NaN fails every comparison, so "<= 0" alone would let it through and
+	// the growth loop would sample zero edges forever.
+	if !(p.Fraction > 0) || math.IsInf(p.Fraction, 0) {
+		return nil, fmt.Errorf("pgpba: fraction must be positive and finite, got %v", p.Fraction)
 	}
 	if desiredEdges <= seed.Graph.NumEdges() {
 		return nil, fmt.Errorf("pgpba: desired size %d must exceed seed size %d",
@@ -85,6 +88,11 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 
 	// while |E'| < desired_size (line 2).
 	for {
+		// Cancellation boundary: a cancelled job stops between rounds
+		// instead of growing to completion.
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
 		have := edges.Count()
 		if have >= desiredEdges {
 			break
@@ -175,6 +183,9 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	// Lines 15-20: property synthesis for every edge.
 	if !p.SkipProperties {
 		edges = assignProperties(edges, seed.Props, p.Seed^0xab5, p.IndependentProps)
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
 
 	out := graph.NewWithCapacity(numVertices, edges.Count())

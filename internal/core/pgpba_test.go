@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math"
 	"testing"
+	"time"
 
 	"csb/internal/cluster"
 	"csb/internal/graph"
@@ -17,6 +21,8 @@ func TestPGPBAValidation(t *testing.T) {
 	}{
 		{"zero fraction", PGPBA{Fraction: 0}, 10000},
 		{"negative fraction", PGPBA{Fraction: -1}, 10000},
+		{"NaN fraction", PGPBA{Fraction: math.NaN()}, 10000},
+		{"+Inf fraction", PGPBA{Fraction: math.Inf(1)}, 10000},
 		{"size below seed", PGPBA{Fraction: 0.1}, 1},
 	}
 	for _, c := range cases {
@@ -162,6 +168,46 @@ func TestPGPBAOnExplicitCluster(t *testing.T) {
 	m := c.Metrics()
 	if m.Stages == 0 || m.Tasks == 0 {
 		t.Fatalf("cluster not exercised: %+v", m)
+	}
+}
+
+func TestPGPBACancelledGenerationReturnsPromptly(t *testing.T) {
+	s := traceSeed(t, 20, 300, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := cluster.MustNew(cluster.Config{Nodes: 1, CoresPerNode: 2, Context: ctx})
+	done := make(chan error, 1)
+	go func() {
+		// A target this far beyond the seed takes many rounds, so the
+		// cancel always lands mid-generation.
+		_, err := (&PGPBA{Fraction: 0.1, Seed: 17, Cluster: c}).Generate(s, 20_000_000)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled generation did not return promptly")
+	}
+}
+
+func TestGeneratorsRejectDeadCluster(t *testing.T) {
+	// A context that is already done must stop both generators before any
+	// growth happens — PGSK's Kronecker top-up loop in particular must not
+	// spin on the empty partitions a cancelled cluster produces.
+	s := traceSeed(t, 15, 200, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := cluster.MustNew(cluster.Config{Nodes: 1, CoresPerNode: 2, Context: ctx})
+	if _, err := (&PGPBA{Fraction: 0.5, Seed: 18, Cluster: c}).Generate(s, 2000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pgpba err = %v, want context.Canceled", err)
+	}
+	if _, err := (&PGSK{Seed: 18, Cluster: c}).Generate(s, 2000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pgsk err = %v, want context.Canceled", err)
 	}
 }
 

@@ -126,6 +126,9 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	if !p.SkipProperties {
 		edges = assignProperties(edges, seed.Props, p.Seed^0xab5, p.IndependentProps)
 	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 
 	out := graph.NewWithCapacity(gk.NumVertices(), edges.Count())
 	if err := out.AddEdges(cluster.Collect(edges)); err != nil {

@@ -207,6 +207,12 @@ func GenerateParallel(c *cluster.Cluster, in Initiator, k int, edges int64, seed
 	round := uint64(0)
 	defer c.Scope("kronecker")()
 	for {
+		// Cancellation boundary: a cancelled cluster generates empty
+		// partitions, so without this check the top-up loop would spin
+		// forever waiting for distinct edges that never arrive.
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
 		var have int64
 		if ds != nil {
 			have = ds.Count()

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"csb/internal/cluster"
+	"csb/internal/core"
+	"csb/internal/graph"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+// EngineShape fixes the virtual-cluster topology artifacts are generated on.
+// Partitioning (and therefore per-partition RNG streams) follows the cluster
+// shape, so the shape is part of a deployment's artifact identity: one
+// daemon must keep one shape for its cache to stay sound, and a CLI run
+// reproduces a daemon's bytes only on the same shape (both default to one
+// node with all local cores).
+type EngineShape struct {
+	// Nodes is the virtual node count (0 means 1).
+	Nodes int
+	// CoresPerNode is the per-node core count (0 means all local cores).
+	CoresPerNode int
+}
+
+// newCluster builds the per-job execution cluster: the deployment's engine
+// shape, bounded by ctx, traced by tracer (both may be nil).
+func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer) (*cluster.Cluster, error) {
+	nodes := sh.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	cores := sh.CoresPerNode
+	if cores <= 0 {
+		cores = 0 // cluster.Config fills GOMAXPROCS via MaxParallel below
+	}
+	cfg := cluster.Config{Nodes: nodes, CoresPerNode: cores, Context: ctx, Tracer: tracer}
+	if cfg.CoresPerNode == 0 {
+		// Match cluster.Local(0): single node exposing every local core.
+		l := cluster.Local(0)
+		cfg.CoresPerNode = l.Config().CoresPerNode
+	}
+	return cluster.New(cfg)
+}
+
+// BuildArtifact runs the full pipeline for one normalized spec — synthetic
+// seed trace, seed analysis, generation on c, artifact encoding — and
+// returns the encoded artifact bytes. The bytes are a pure function of
+// (spec, engine shape); ctx cancellation aborts between engine stages.
+func BuildArtifact(ctx context.Context, spec Spec, c *cluster.Cluster) ([]byte, error) {
+	seed, err := buildSeed(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var gen core.Generator
+	switch spec.Generator {
+	case GenPGSK:
+		gen = &core.PGSK{Seed: spec.Seed, Cluster: c}
+	default:
+		gen = &core.PGPBA{Fraction: spec.Fraction, Seed: spec.Seed, Cluster: c}
+	}
+	g, err := gen.Generate(seed, spec.Edges)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := EncodeArtifact(&buf, g, spec.Format); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// buildSeed runs the Figure 1 pipeline over a synthetic trace sized by the
+// spec (the serve-side equivalent of csb.BuildSyntheticSeed).
+func buildSeed(spec Spec) (*core.Seed, error) {
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(spec.Hosts, spec.Sessions, spec.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: synthesizing seed trace: %w", err)
+	}
+	return core.Analyze(netflow.BuildGraph(netflow.Assemble(pkts, 0)))
+}
+
+// EncodeArtifact serializes g in the given artifact format. The tsv and csbg
+// encodings are exactly Graph.WriteEdgeList and Graph.Write, so daemon
+// artifacts stay byte-identical to csbgen's files.
+func EncodeArtifact(w io.Writer, g *graph.Graph, format string) error {
+	switch format {
+	case FormatCSBG:
+		return g.Write(w)
+	case FormatCSV:
+		return netflow.WriteCSV(w, netflow.FlowsFromGraph(g))
+	case FormatNDJSON:
+		return writeNDJSON(w, g)
+	case FormatTSV, "":
+		return g.WriteEdgeList(w)
+	default:
+		return fmt.Errorf("serve: unknown artifact format %q", format)
+	}
+}
+
+// ndjsonEdge is the NDJSON projection of one flow edge; field names mirror
+// the TSV edge-list header.
+type ndjsonEdge struct {
+	Src        int64  `json:"src"`
+	Dst        int64  `json:"dst"`
+	Proto      string `json:"proto"`
+	SrcPort    uint16 `json:"src_port"`
+	DstPort    uint16 `json:"dst_port"`
+	DurationMS int64  `json:"duration_ms"`
+	OutBytes   int64  `json:"out_bytes"`
+	InBytes    int64  `json:"in_bytes"`
+	OutPkts    int64  `json:"out_pkts"`
+	InPkts     int64  `json:"in_pkts"`
+	State      string `json:"state"`
+}
+
+// writeNDJSON emits one JSON object per edge, newline-delimited, in edge
+// order (deterministic for deterministic graphs).
+func writeNDJSON(w io.Writer, g *graph.Graph) error {
+	enc := json.NewEncoder(w)
+	edges := g.Edges()
+	for i := range edges {
+		e := &edges[i]
+		rec := ndjsonEdge{
+			Src: int64(e.Src), Dst: int64(e.Dst),
+			Proto:   e.Props.Protocol.String(),
+			SrcPort: e.Props.SrcPort, DstPort: e.Props.DstPort,
+			DurationMS: e.Props.Duration,
+			OutBytes:   e.Props.OutBytes, InBytes: e.Props.InBytes,
+			OutPkts: e.Props.OutPkts, InPkts: e.Props.InPkts,
+			State: e.Props.State.String(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed artifact store: a byte-budgeted in-memory
+// LRU with an optional disk spill tier. Artifacts are keyed by Spec.ID, so a
+// repeated identical job is served from here at wire speed instead of being
+// regenerated.
+//
+// Eviction from memory spills the artifact to the disk tier when a spill
+// directory is configured (its own byte budget, LRU again, oldest files
+// deleted); a disk hit promotes the artifact back into memory. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu sync.Mutex
+
+	memBudget int64
+	memBytes  int64
+	mem       map[string]*list.Element // value.Value is *memEntry
+	memLRU    *list.List               // front = most recently used
+
+	dir        string
+	diskBudget int64
+	diskBytes  int64
+	disk       map[string]*list.Element // value.Value is *diskEntry
+	diskLRU    *list.List
+
+	hits, misses, evictions, spills int64
+}
+
+type memEntry struct {
+	id   string
+	data []byte
+}
+
+type diskEntry struct {
+	id   string
+	size int64
+}
+
+// DefaultCacheBytes is the in-memory artifact budget when none is given.
+const DefaultCacheBytes = 256 << 20
+
+// NewCache creates a cache with the given in-memory byte budget (0 means
+// DefaultCacheBytes). dir enables the disk spill tier ("" disables it);
+// diskBudget bounds it (0 means 4x the memory budget). The directory is
+// created if missing.
+func NewCache(memBudget int64, dir string, diskBudget int64) (*Cache, error) {
+	if memBudget <= 0 {
+		memBudget = DefaultCacheBytes
+	}
+	if diskBudget <= 0 {
+		diskBudget = 4 * memBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: creating spill dir: %w", err)
+		}
+	}
+	return &Cache{
+		memBudget: memBudget,
+		mem:       make(map[string]*list.Element),
+		memLRU:    list.New(),
+		dir:       dir,
+		diskBudget: func() int64 {
+			if dir == "" {
+				return 0
+			}
+			return diskBudget
+		}(),
+		disk:    make(map[string]*list.Element),
+		diskLRU: list.New(),
+	}, nil
+}
+
+// Get returns the artifact bytes for id. The returned slice is shared and
+// must be treated as read-only. A disk-tier hit promotes the artifact back
+// into memory.
+func (c *Cache) Get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.mem[id]; ok {
+		c.memLRU.MoveToFront(el)
+		data := el.Value.(*memEntry).data
+		c.hits++
+		c.mu.Unlock()
+		return data, true
+	}
+	el, ok := c.disk[id]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	path := c.spillPath(id)
+	c.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Spill file lost out from under us (operator cleanup); drop the
+		// index entry and report a miss.
+		c.mu.Lock()
+		if cur, still := c.disk[id]; still && cur == el {
+			c.removeDiskLocked(el, false)
+		}
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.insertMemLocked(id, data)
+	c.mu.Unlock()
+	return data, true
+}
+
+// Contains reports whether id is present in either tier, without touching
+// recency or the hit/miss counters.
+func (c *Cache) Contains(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[id]; ok {
+		return true
+	}
+	_, ok := c.disk[id]
+	return ok
+}
+
+// Put stores the artifact bytes under id, evicting least-recently-used
+// artifacts (spilling them to disk when enabled) to stay within budget. The
+// cache takes ownership of data.
+func (c *Cache) Put(id string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertMemLocked(id, data)
+}
+
+// insertMemLocked adds or refreshes a memory entry and rebalances budgets.
+func (c *Cache) insertMemLocked(id string, data []byte) {
+	if el, ok := c.mem[id]; ok {
+		ent := el.Value.(*memEntry)
+		c.memBytes += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		c.memLRU.MoveToFront(el)
+	} else {
+		el := c.memLRU.PushFront(&memEntry{id: id, data: data})
+		c.mem[id] = el
+		c.memBytes += int64(len(data))
+	}
+	// An artifact promoted from disk should not also occupy spill space.
+	if el, ok := c.disk[id]; ok {
+		c.removeDiskLocked(el, true)
+	}
+	for c.memBytes > c.memBudget && c.memLRU.Len() > 1 {
+		c.evictOldestLocked()
+	}
+	// A single artifact larger than the whole budget is kept anyway (the
+	// alternative is thrashing: rebuild on every request).
+}
+
+// evictOldestLocked drops the LRU memory entry, spilling it to disk first
+// when the spill tier is enabled.
+func (c *Cache) evictOldestLocked() {
+	el := c.memLRU.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*memEntry)
+	c.memLRU.Remove(el)
+	delete(c.mem, ent.id)
+	c.memBytes -= int64(len(ent.data))
+	c.evictions++
+	if c.dir == "" || int64(len(ent.data)) > c.diskBudget {
+		return
+	}
+	if err := os.WriteFile(c.spillPath(ent.id), ent.data, 0o644); err != nil {
+		return // disk full or unwritable: degrade to plain eviction
+	}
+	c.spills++
+	dl := c.diskLRU.PushFront(&diskEntry{id: ent.id, size: int64(len(ent.data))})
+	c.disk[ent.id] = dl
+	c.diskBytes += int64(len(ent.data))
+	for c.diskBytes > c.diskBudget && c.diskLRU.Len() > 1 {
+		c.removeDiskLocked(c.diskLRU.Back(), true)
+	}
+}
+
+// removeDiskLocked drops a disk-tier entry; unlink removes the spill file.
+func (c *Cache) removeDiskLocked(el *list.Element, unlink bool) {
+	ent := el.Value.(*diskEntry)
+	c.diskLRU.Remove(el)
+	delete(c.disk, ent.id)
+	c.diskBytes -= ent.size
+	if unlink {
+		os.Remove(c.spillPath(ent.id))
+	}
+}
+
+// spillPath returns the spill file path of an artifact id (ids are hex, so
+// they are filesystem-safe).
+func (c *Cache) spillPath(id string) string {
+	return filepath.Join(c.dir, id+".art")
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries     int
+	Bytes       int64
+	DiskEntries int
+	DiskBytes   int64
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Spills      int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:     c.memLRU.Len(),
+		Bytes:       c.memBytes,
+		DiskEntries: c.diskLRU.Len(),
+		DiskBytes:   c.diskBytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Spills:      c.spills,
+	}
+}

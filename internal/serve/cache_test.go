@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c, err := NewCache(1<<20, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", []byte("hello"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 5 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictsLRUWithinBudget(t *testing.T) {
+	c, err := NewCache(100, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 40)) // 5*40 = 200 > 100
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("cache over budget: %d bytes", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The most recently inserted entry must survive.
+	if _, ok := c.Get("k4"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	// The oldest must be gone (no disk tier).
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry survived a 2.5x-over-budget insert storm")
+	}
+}
+
+func TestCacheGetRefreshesRecency(t *testing.T) {
+	c, err := NewCache(100, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("old", make([]byte, 40))
+	c.Put("mid", make([]byte, 40))
+	c.Get("old")                   // touch: "mid" is now LRU
+	c.Put("new", make([]byte, 40)) // forces one eviction
+	if _, ok := c.Get("old"); !ok {
+		t.Fatal("recently touched entry evicted")
+	}
+	if _, ok := c.Get("mid"); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestCacheOversizedArtifactIsKept(t *testing.T) {
+	c, err := NewCache(10, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("big", make([]byte, 1000))
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("artifact larger than the budget was dropped; it would rebuild on every request")
+	}
+}
+
+func TestCacheDiskSpillAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(100, dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 80)
+	c.Put("spilled", payload)
+	c.Put("fresh", make([]byte, 80)) // evicts "spilled" to disk
+	st := c.Stats()
+	if st.Spills != 1 || st.DiskEntries != 1 {
+		t.Fatalf("stats after spill = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spilled.art")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	// Disk hit: bytes come back and the artifact is promoted to memory,
+	// which in turn evicts (and spills) "fresh" — the tiers swap contents.
+	got, ok := c.Get("spilled")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk Get = %v, %v", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spilled.art")); !os.IsNotExist(err) {
+		t.Fatal("promotion left the old spill file behind")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fresh.art")); err != nil {
+		t.Fatalf("evicted entry was not spilled: %v", err)
+	}
+	if st := c.Stats(); st.DiskEntries != 1 {
+		t.Fatalf("stats after swap = %+v", st)
+	}
+}
+
+func TestCacheDiskBudgetBounded(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(50, dir, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 40))
+	}
+	st := c.Stats()
+	if st.DiskBytes > 120 {
+		t.Fatalf("disk tier over budget: %+v", st)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != st.DiskEntries {
+		t.Fatalf("%d spill files on disk, index says %d", len(files), st.DiskEntries)
+	}
+}
+
+func TestCacheLostSpillFileIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(50, dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40)) // spills "a"
+	if err := os.Remove(filepath.Join(dir, "a.art")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get succeeded after the spill file was deleted")
+	}
+	if st := c.Stats(); st.DiskEntries != 0 {
+		t.Fatalf("stale disk index entry survived: %+v", st)
+	}
+}

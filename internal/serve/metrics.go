@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of the service counters, exposed both
+// as a struct (for tests and embedding) and as the /metrics text endpoint.
+type Metrics struct {
+	JobsSubmitted int64
+	JobsCompleted int64
+	JobsFailed    int64
+	JobsCanceled  int64
+	JobsRejected  int64
+	JobsRunning   int64
+	QueueDepth    int
+	CacheHits     int64
+	CacheMisses   int64
+	BytesServed   int64
+	Cache         CacheStats
+	// Stages aggregates the engine-stage spans of every job cluster by
+	// operation name, sorted by op.
+	Stages []StageMetric
+}
+
+// StageMetric is the aggregate of all recorded spans of one engine op.
+type StageMetric struct {
+	Op       string
+	Count    int64
+	Tasks    int64
+	Real     time.Duration // summed host wall time
+	Work     time.Duration // summed task work
+	BytesIn  int64
+	BytesOut int64
+}
+
+// HitRatio returns cache hits / (hits + misses) at the job-admission level,
+// 0 when nothing has been submitted.
+func (m Metrics) HitRatio() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// Metrics returns a snapshot of the service counters, including the
+// per-stage aggregation of every span the job clusters traced so far.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		JobsSubmitted: s.submitted.Load(),
+		JobsCompleted: s.completed.Load(),
+		JobsFailed:    s.failed.Load(),
+		JobsCanceled:  s.canceled.Load(),
+		JobsRejected:  s.rejected.Load(),
+		JobsRunning:   s.running.Load(),
+		QueueDepth:    s.QueueDepth(),
+		CacheHits:     s.hits.Load(),
+		CacheMisses:   s.misses.Load(),
+		BytesServed:   s.bytesServed.Load(),
+		Cache:         s.cache.Stats(),
+	}
+	agg := make(map[string]*StageMetric)
+	for _, span := range s.tracer.Spans() {
+		sm, ok := agg[span.Op]
+		if !ok {
+			sm = &StageMetric{Op: span.Op}
+			agg[span.Op] = sm
+		}
+		sm.Count++
+		sm.Tasks += int64(span.Tasks)
+		sm.Real += span.Real
+		sm.Work += span.Work
+		sm.BytesIn += span.BytesIn
+		sm.BytesOut += span.BytesOut
+	}
+	m.Stages = make([]StageMetric, 0, len(agg))
+	for _, sm := range agg {
+		m.Stages = append(m.Stages, *sm)
+	}
+	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Op < m.Stages[j].Op })
+	return m
+}
+
+// handleMetrics is GET /metrics: a flat, Prometheus-style text rendering.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	var b strings.Builder
+	put := func(name string, v any) { fmt.Fprintf(&b, "%s %v\n", name, v) }
+	put("csbd_jobs_submitted_total", m.JobsSubmitted)
+	put("csbd_jobs_completed_total", m.JobsCompleted)
+	put("csbd_jobs_failed_total", m.JobsFailed)
+	put("csbd_jobs_canceled_total", m.JobsCanceled)
+	put("csbd_jobs_rejected_total", m.JobsRejected)
+	put("csbd_jobs_running", m.JobsRunning)
+	put("csbd_queue_depth", m.QueueDepth)
+	put("csbd_cache_hits_total", m.CacheHits)
+	put("csbd_cache_misses_total", m.CacheMisses)
+	fmt.Fprintf(&b, "csbd_cache_hit_ratio %.4f\n", m.HitRatio())
+	put("csbd_cache_entries", m.Cache.Entries)
+	put("csbd_cache_bytes", m.Cache.Bytes)
+	put("csbd_cache_disk_entries", m.Cache.DiskEntries)
+	put("csbd_cache_disk_bytes", m.Cache.DiskBytes)
+	put("csbd_cache_evictions_total", m.Cache.Evictions)
+	put("csbd_cache_spills_total", m.Cache.Spills)
+	put("csbd_bytes_served_total", m.BytesServed)
+	for _, sm := range m.Stages {
+		fmt.Fprintf(&b, "csbd_stage_count{op=%q} %d\n", sm.Op, sm.Count)
+		fmt.Fprintf(&b, "csbd_stage_tasks_total{op=%q} %d\n", sm.Op, sm.Tasks)
+		fmt.Fprintf(&b, "csbd_stage_real_seconds_total{op=%q} %.6f\n", sm.Op, sm.Real.Seconds())
+		fmt.Fprintf(&b, "csbd_stage_work_seconds_total{op=%q} %.6f\n", sm.Op, sm.Work.Seconds())
+		fmt.Fprintf(&b, "csbd_stage_bytes_in_total{op=%q} %d\n", sm.Op, sm.BytesIn)
+		fmt.Fprintf(&b, "csbd_stage_bytes_out_total{op=%q} %d\n", sm.Op, sm.BytesOut)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

@@ -91,6 +91,7 @@ func main() {
 		"workload":  func() { workloadExp(seed, *synEdges, *rngSeed) },
 		"extended":  func() { extended(seed, *synEdges, *rngSeed) },
 		"fourvs":    func() { fourVs(seed, *synEdges, *rngSeed) },
+		"chaos":     func() { chaos(seed, *synEdges, *rngSeed) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "baselines", "workload", "extended", "fourvs"} {
@@ -346,6 +347,61 @@ func fourVs(seed *core.Seed, edges int64, rngSeed uint64) {
 			v.VarietyProtoState, v.SeedVarietyProtoState,
 			v.VarietyDstPort, v.SeedVarietyDstPort,
 			v.VeracityDegree, v.VeracityPageRank)
+	}
+}
+
+// chaos measures the cost and verifies the safety of the engine's fault
+// tolerance: for each generator and fault rate, it regenerates the same
+// fixed-seed graph under deterministic fault injection (retries and
+// speculation enabled) and reports the attempt accounting plus whether the
+// output stayed byte-identical to the fault-free baseline. Not part of
+// "all": it regenerates every dataset several times.
+func chaos(seed *core.Seed, edges int64, rngSeed uint64) {
+	if edges > 200_000 {
+		edges = 200_000 // chaos sweeps regenerate each point; keep them snappy
+	}
+	fmt.Println("# Chaos: fault-injection determinism and retry/speculation cost")
+	fmt.Println("generator\tfault_rate\tattempts\tfailed\tretries\tspeculative\tvirtual_seconds\tidentical")
+	for _, gen := range []string{"pgpba", "pgsk"} {
+		var baseline []byte
+		for _, rate := range []float64{0, 0.05, 0.2} {
+			cfg := cluster.Config{
+				Nodes: 2, CoresPerNode: 2,
+				MaxTaskRetries: 8, Speculation: true,
+			}
+			if rate > 0 {
+				plan := cluster.NewFaultPlan(rngSeed, rate)
+				plan.MaxFaultyAttempts = 4
+				cfg.Faults = plan
+			}
+			c, err := cluster.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var g core.Generator
+			if gen == "pgpba" {
+				g = &core.PGPBA{Fraction: 0.3, Seed: rngSeed, Cluster: c}
+			} else {
+				g = &core.PGSK{Seed: rngSeed, Cluster: c}
+			}
+			out, err := g.Generate(seed, edges)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var buf strings.Builder
+			if err := out.Write(&buf); err != nil {
+				log.Fatal(err)
+			}
+			rendered := []byte(buf.String())
+			if rate == 0 {
+				baseline = rendered
+			}
+			m := c.Metrics()
+			attempts := m.Tasks + m.TaskRetries // committed tasks + re-attempts
+			fmt.Printf("%s\t%.2f\t%d\t%d\t%d\t%d\t%.4f\t%v\n",
+				gen, rate, attempts, m.TaskFailures, m.TaskRetries, m.SpeculativeTasks,
+				m.Makespan.Seconds(), string(rendered) == string(baseline))
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"csb/internal/cluster"
 	"csb/internal/serve"
 )
 
@@ -55,20 +56,34 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		cacheDisk  = fs.Int64("cache-disk-bytes", 0, "disk spill budget (0 = 4x cache-bytes)")
 		nodes      = fs.Int("nodes", 1, "virtual cluster nodes jobs run on")
 		cores      = fs.Int("cores", 0, "cores per virtual node (0 = all local cores)")
+		jobRetries = fs.Int("job-retries", 1, "re-attempts for transiently failed jobs (negative disables)")
+		taskRetry  = fs.Int("max-task-retries", 0, "engine task retry budget (0 = default, negative disables)")
+		specExec   = fs.Bool("speculation", false, "duplicate straggler tasks in the engine")
+		faultRate  = fs.Float64("fault-rate", 0, "injected engine fault rate for chaos runs (0 disables)")
+		faultSeed  = fs.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	shape := serve.EngineShape{
+		Nodes: *nodes, CoresPerNode: *cores,
+		MaxTaskRetries: *taskRetry,
+		Speculation:    *specExec,
+	}
+	if *faultRate > 0 {
+		shape.Faults = cluster.NewFaultPlan(*faultSeed, *faultRate)
+	}
 	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
+		JobRetries:     *jobRetries,
 		MaxEdges:       *maxEdges,
 		CacheBytes:     *cacheBytes,
 		CacheDir:       *cacheDir,
 		CacheDiskBytes: *cacheDisk,
-		Shape:          serve.EngineShape{Nodes: *nodes, CoresPerNode: *cores},
+		Shape:          shape,
 	})
 	if err != nil {
 		return err

@@ -51,6 +51,10 @@ func run(args []string, stdout io.Writer) error {
 		stageTab  = fs.Bool("stages", false, "print a plain-text stage table after generation")
 		cpuProf   = fs.String("cpuprofile", "", "write CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write heap profile to this file")
+		taskRetry = fs.Int("max-task-retries", 0, "engine task retry budget (0 = default, negative disables)")
+		specExec  = fs.Bool("speculation", false, "duplicate straggler tasks in the engine")
+		faultRate = fs.Float64("fault-rate", 0, "injected engine fault rate for chaos runs (0 disables)")
+		faultSeed = fs.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,10 +136,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "seed: %d vertices, %d edges\n", seed.Graph.NumVertices(), seed.Graph.NumEdges())
 
-	// Tracing needs an explicit cluster even in the default single-node
-	// setup, so the engine stages have somewhere to record spans.
+	var faults *csb.FaultPlan
+	if *faultRate > 0 {
+		faults = csb.NewFaultPlan(*faultSeed, *faultRate)
+	}
+
+	// Tracing and the fault-tolerance knobs need an explicit cluster even in
+	// the default single-node setup, so the engine has somewhere to put them.
+	// Chaos flags keep the default topology: partitioning (and therefore
+	// output bytes) must stay identical to a clean run for the byte-identity
+	// check to mean anything.
 	var c *csb.Cluster
-	if *nodes > 1 || *cores > 0 || tracer != nil {
+	if *nodes > 1 || *cores > 0 || tracer != nil || faults != nil || *specExec || *taskRetry != 0 {
 		coresPerNode := *cores
 		if coresPerNode == 0 {
 			if *nodes > 1 {
@@ -145,7 +157,10 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		var err error
-		cfg := csb.ClusterConfig{Nodes: *nodes, CoresPerNode: coresPerNode, Tracer: tracer}
+		cfg := csb.ClusterConfig{
+			Nodes: *nodes, CoresPerNode: coresPerNode, Tracer: tracer,
+			MaxTaskRetries: *taskRetry, Speculation: *specExec, Faults: faults,
+		}
 		if c, err = csb.NewCluster(cfg); err != nil {
 			return err
 		}
@@ -175,6 +190,10 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "virtual cluster: makespan %v, total work %v, peak %d MiB/node\n",
 			m.Makespan.Round(time.Millisecond), m.TotalWork.Round(time.Millisecond),
 			m.PeakBytesPerNode>>20)
+		if m.TaskFailures > 0 || m.SpeculativeTasks > 0 {
+			fmt.Fprintf(stdout, "fault tolerance: %d failed attempts, %d retries, %d speculative tasks\n",
+				m.TaskFailures, m.TaskRetries, m.SpeculativeTasks)
+		}
 	}
 
 	if *veracity {

@@ -81,6 +81,12 @@ type (
 	Tracer = cluster.Tracer
 	// StageRecord is one recorded engine stage (op, tasks, timings, bytes).
 	StageRecord = cluster.StageRecord
+	// StageError is the typed, sticky failure of an engine stage whose task
+	// exhausted its retry budget; surfaced by Cluster.Err.
+	StageError = cluster.StageError
+	// FaultPlan deterministically injects faults into engine task attempts
+	// for chaos testing; assign to ClusterConfig.Faults.
+	FaultPlan = cluster.FaultPlan
 	// Initiator is a 2x2 Kronecker initiator matrix.
 	Initiator = kronecker.Initiator
 	// Alert is one anomaly detection.
@@ -212,6 +218,12 @@ func LocalCluster(maxParallel int) *Cluster {
 // WriteStageTable.
 func NewTracer() *Tracer {
 	return cluster.NewTracer()
+}
+
+// NewFaultPlan builds a mixed chaos plan (panics, transient errors,
+// straggler delays) from one total fault rate; see cluster.NewFaultPlan.
+func NewFaultPlan(seed uint64, rate float64) *FaultPlan {
+	return cluster.NewFaultPlan(seed, rate)
 }
 
 // NewServer starts the dataset-generation service of cmd/csbd: workers are

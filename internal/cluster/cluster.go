@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,6 +68,30 @@ type Config struct {
 	// between stages, so a cancelled generation stops between tasks instead
 	// of running to completion. Nil means context.Background (never done).
 	Context context.Context
+	// MaxTaskRetries is how many times a failed task attempt (panic or
+	// injected fault) is re-executed before the stage fails the cluster with
+	// a *StageError. 0 means DefaultMaxTaskRetries; negative disables
+	// retries (every attempt is final), mirroring Spark's
+	// spark.task.maxFailures.
+	MaxTaskRetries int
+	// RetryBackoff is the base delay before a task retry; the k-th retry
+	// waits about RetryBackoff*2^k with deterministic jitter. 0 means
+	// DefaultRetryBackoff; negative disables the wait.
+	RetryBackoff time.Duration
+	// Speculation enables straggler mitigation: once at least half of a
+	// stage's tasks have finished, any task running longer than
+	// SpeculationQuantile times the median task time gets a duplicate
+	// attempt, and whichever attempt commits first wins. Output is
+	// unaffected — duplicates race only for the commit slot, never the
+	// result bytes.
+	Speculation bool
+	// SpeculationQuantile is the straggler threshold multiple over the
+	// median committed-task runtime (0 means DefaultSpeculationQuantile).
+	SpeculationQuantile float64
+	// Faults, when non-nil, deterministically injects panics, transient
+	// errors and straggler delays into task attempts for chaos testing. It
+	// never alters committed output, only the attempt schedule.
+	Faults *FaultPlan
 }
 
 // StageRecord is one executed stage span: what operation ran, under which
@@ -94,6 +119,11 @@ type StageRecord struct {
 	// Data movement, estimated from element sizes (the Figure 11 model).
 	BytesIn  int64
 	BytesOut int64
+	// Fault-tolerance accounting.
+	Attempts       int // task attempts launched (>= Tasks when anything retried)
+	Retries        int // re-attempts scheduled after failed attempts
+	Speculative    int // duplicate attempts launched for stragglers
+	FailedAttempts int // attempts that panicked or returned an injected fault
 }
 
 // DefaultPlatformOverheadBytes is the per-node platform overhead used when
@@ -116,6 +146,13 @@ type Metrics struct {
 	// PeakBytesPerNode is the maximum simultaneous dataset footprint
 	// charged to one node (including platform overhead).
 	PeakBytesPerNode int64
+	// TaskRetries counts re-attempts scheduled after failed task attempts.
+	TaskRetries int64
+	// SpeculativeTasks counts duplicate attempts launched for stragglers.
+	SpeculativeTasks int64
+	// TaskFailures counts attempts that panicked or hit an injected fault
+	// (including ones later recovered by a retry).
+	TaskFailures int64
 	// StageLog holds per-stage records when Config.RecordStages is set.
 	StageLog []StageRecord
 }
@@ -128,9 +165,15 @@ type Cluster struct {
 	epoch    time.Time // creation time; stage Start offsets are relative to it
 	tracerID int       // lane id assigned by cfg.Tracer, when attached
 
+	// execSeq numbers stages as they start executing; assigned by the single
+	// orchestrator goroutine, so it is deterministic for a given pipeline and
+	// keys the FaultPlan's replayable fault decisions.
+	execSeq atomic.Uint64
+
 	mu      sync.Mutex
 	metrics Metrics
-	labels  []string // active Scope stack, joined into StageRecord.Label
+	labels  []string    // active Scope stack, joined into StageRecord.Label
+	failure *StageError // first stage failure; sticky, surfaced by Err
 }
 
 // New validates cfg, fills defaults and returns a Cluster.
@@ -158,6 +201,27 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ShuffleCoordPerPartition == 0 {
 		cfg.ShuffleCoordPerPartition = 300 * time.Nanosecond
+	}
+	if cfg.MaxTaskRetries == 0 {
+		cfg.MaxTaskRetries = DefaultMaxTaskRetries
+	} else if cfg.MaxTaskRetries < 0 {
+		cfg.MaxTaskRetries = 0 // explicit opt-out: attempts are final
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	} else if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
+	}
+	if cfg.SpeculationQuantile == 0 {
+		cfg.SpeculationQuantile = DefaultSpeculationQuantile
+	}
+	if cfg.SpeculationQuantile < 1 {
+		return nil, fmt.Errorf("cluster: SpeculationQuantile must be >= 1, got %g", cfg.SpeculationQuantile)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{cfg: cfg, epoch: time.Now()}
 	if cfg.Tracer != nil {
@@ -187,16 +251,40 @@ func Local(maxParallel int) *Cluster {
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Err reports whether the cluster's bounding Context has ended: nil while
-// execution may continue, the context's error (context.Canceled or
-// context.DeadlineExceeded) once it must stop. Engine stages poll it between
-// partition tasks; generator pipelines poll it between stages and propagate
-// the error to their caller.
+// Err reports whether the cluster must stop: nil while execution may
+// continue; a *StageError once a stage exhausted a task's retry budget (the
+// failure is sticky — later stages refuse to run); or the bounding Context's
+// error (context.Canceled or context.DeadlineExceeded) once it has ended.
+// Engine stages poll it between partition tasks; generator pipelines poll it
+// between stages and propagate the error to their caller.
 func (c *Cluster) Err() error {
+	c.mu.Lock()
+	failed := c.failure
+	c.mu.Unlock()
+	if failed != nil {
+		return failed
+	}
 	if c.cfg.Context == nil {
 		return nil
 	}
 	return c.cfg.Context.Err()
+}
+
+// fail records the cluster's first stage failure; later failures (from
+// stages already in flight) are dropped, so Err is stable once set.
+func (c *Cluster) fail(e *StageError) {
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = e
+	}
+	c.mu.Unlock()
+}
+
+// currentLabel snapshots the "/"-joined Scope stack.
+func (c *Cluster) currentLabel() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return strings.Join(c.labels, "/")
 }
 
 // VirtualCores returns Nodes * CoresPerNode.
@@ -259,67 +347,57 @@ type stageSpec struct {
 }
 
 // runStage executes nTasks tasks on the real worker pool, measures each, and
-// charges the stage's LPT makespan over the virtual cores.
+// charges the stage's LPT makespan over the virtual cores. Execution is
+// fault-tolerant: each task runs as a chain of attempts with panic recovery
+// and bounded retries, plus optional speculative duplicates and injected
+// faults (see fault.go). A task out of retries fails the cluster via a
+// sticky *StageError; a cancelled or already-failed cluster skips the stage
+// entirely, leaving its output partitions empty.
 //
 // When spec.weights is set (typically the partition element counts), the
 // stage's summed wall time is apportioned to tasks proportionally to their
 // weights before the LPT placement: total cost stays real and data skew is
 // respected, but per-task timer noise (a GC pause landing inside one
 // microsecond task) no longer distorts the virtual makespan. Without
-// weights, the raw per-task measurements are used.
+// weights, the raw per-task measurements are used. Both paths consider only
+// committed tasks, so a stage cut short by cancellation or failure does not
+// drag zero-duration phantom tasks into the stats.
 func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
-	if nTasks == 0 {
+	if nTasks == 0 || c.Err() != nil {
 		return
 	}
 	realStart := time.Now()
-	durations := make([]time.Duration, nTasks)
-	workers := c.cfg.MaxParallel
-	if workers > nTasks {
-		workers = nTasks
+	st := newStageRun(c, spec.op, c.execSeq.Add(1), nTasks, task)
+	st.run()
+	if st.failure != nil {
+		c.fail(st.failure)
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int, nTasks)
-	for i := 0; i < nTasks; i++ {
-		idx <- i
-	}
-	close(idx)
-	ctx := c.cfg.Context
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// Cancellation boundary: a cancelled cluster stops
-				// picking up partition tasks. Already-running tasks
-				// finish; the pipeline observes Err between stages.
-				if ctx != nil && ctx.Err() != nil {
-					return
-				}
-				start := time.Now()
-				task(i)
-				durations[i] = time.Since(start)
-			}
-		}()
-	}
-	wg.Wait()
 
+	// Stats over the committed subset only (satellite fix: a worker exiting
+	// early on cancellation must not contribute zero durations).
+	executed := make([]int, 0, nTasks)
+	durations := make([]time.Duration, 0, nTasks)
 	var total time.Duration
-	for _, d := range durations {
-		total += d
+	for i := range st.slots {
+		if st.slots[i].done.Load() {
+			executed = append(executed, i)
+			d := time.Duration(st.slots[i].durNS.Load())
+			durations = append(durations, d)
+			total += d
+		}
 	}
-	weights := spec.weights
-	if weights != nil && len(weights) == nTasks {
+	if spec.weights != nil && len(spec.weights) == nTasks && len(executed) > 0 {
 		var sumW int64
-		for _, w := range weights {
-			sumW += w
+		for _, i := range executed {
+			sumW += spec.weights[i]
 		}
 		if sumW > 0 {
-			for i := range durations {
-				durations[i] = time.Duration(float64(total) * float64(weights[i]) / float64(sumW))
+			for j, i := range executed {
+				durations[j] = time.Duration(float64(total) * float64(spec.weights[i]) / float64(sumW))
 			}
 		} else {
-			for i := range durations {
-				durations[i] = total / time.Duration(nTasks)
+			for j := range durations {
+				durations[j] = total / time.Duration(len(executed))
 			}
 		}
 	}
@@ -329,35 +407,61 @@ func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 		bytesOut = spec.bytesOut()
 	}
 	rec := StageRecord{
-		Op:       spec.op,
-		Tasks:    nTasks,
-		Work:     total,
-		Makespan: span,
-		Start:    realStart.Sub(c.epoch),
-		Real:     time.Since(realStart),
-		BytesIn:  spec.bytesIn,
-		BytesOut: bytesOut,
+		Op:             spec.op,
+		Tasks:          nTasks,
+		Work:           total,
+		Makespan:       span,
+		Start:          realStart.Sub(c.epoch),
+		Real:           time.Since(realStart),
+		BytesIn:        spec.bytesIn,
+		BytesOut:       bytesOut,
+		Attempts:       int(st.attempts.Load()),
+		Retries:        int(st.retries.Load()),
+		Speculative:    int(st.speculative.Load()),
+		FailedAttempts: int(st.failures.Load()),
 	}
 	rec.TaskMin, rec.TaskMax, rec.TaskMean, rec.Skew = taskStats(durations)
 	c.commit(rec, func(m *Metrics) {
-		m.Tasks += int64(nTasks)
+		m.Tasks += int64(len(executed))
 		m.TotalWork += total
 		m.Makespan += span
+		m.TaskRetries += int64(rec.Retries)
+		m.SpeculativeTasks += int64(rec.Speculative)
+		m.TaskFailures += int64(rec.FailedAttempts)
 	})
 }
 
 // runSerial executes fn as a serial section: its wall time is charged to the
 // makespan in full (every virtual core waits), modelling shuffles and
-// driver-side merges.
+// driver-side merges. Serial sections are not retried — they are single
+// global merges whose inputs a retry would consume twice — but a panic is
+// still contained: it fails the cluster with a *StageError instead of
+// crashing the process.
 func (c *Cluster) runSerial(op string, fn func()) {
+	if c.Err() != nil {
+		return
+	}
 	realStart := time.Now()
-	fn()
+	var panicked any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r
+			}
+		}()
+		fn()
+	}()
+	if panicked != nil {
+		c.fail(&StageError{Op: op, Label: c.currentLabel(), Task: 0, Attempts: 1, Cause: panicked})
+		return
+	}
 	d := time.Since(realStart)
 	rec := StageRecord{
 		Op: op, Tasks: 1, Serial: true,
 		Work: d, Makespan: d,
 		Start: realStart.Sub(c.epoch), Real: d,
 		TaskMin: d, TaskMax: d, TaskMean: d, Skew: 1,
+		Attempts: 1,
 	}
 	c.commit(rec, func(m *Metrics) {
 		m.Tasks++

@@ -144,6 +144,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				"skew":            s.Skew,
 				"bytes_in":        s.BytesIn,
 				"bytes_out":       s.BytesOut,
+				"attempts":        s.Attempts,
+				"retries":         s.Retries,
+				"speculative":     s.Speculative,
+				"failed_attempts": s.FailedAttempts,
 			},
 		})
 	}
@@ -163,12 +167,13 @@ func (t *Tracer) laneCount() int {
 // data went.
 func (t *Tracer) WriteStageTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "cluster\tseq\tlabel\top\ttasks\treal\twork\tvspan\tskew\tin_bytes\tout_bytes")
+	fmt.Fprintln(tw, "cluster\tseq\tlabel\top\ttasks\treal\twork\tvspan\tskew\tin_bytes\tout_bytes\tattempts\tretries\tspec")
 	for _, s := range t.Spans() {
-		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%d\t%v\t%v\t%v\t%.2f\t%d\t%d\n",
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%d\t%v\t%v\t%v\t%.2f\t%d\t%d\t%d\t%d\t%d\n",
 			s.Cluster, s.Seq, s.Label, s.Op, s.Tasks,
 			s.Real.Round(time.Microsecond), s.Work.Round(time.Microsecond),
-			s.Makespan.Round(time.Microsecond), s.Skew, s.BytesIn, s.BytesOut)
+			s.Makespan.Round(time.Microsecond), s.Skew, s.BytesIn, s.BytesOut,
+			s.Attempts, s.Retries, s.Speculative)
 	}
 	return tw.Flush()
 }

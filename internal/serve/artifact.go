@@ -20,11 +20,23 @@ import (
 // daemon must keep one shape for its cache to stay sound, and a CLI run
 // reproduces a daemon's bytes only on the same shape (both default to one
 // node with all local cores).
+// The fault-tolerance knobs below are deliberately NOT part of artifact
+// identity: retries, speculation and injected faults change the attempt
+// schedule, never the committed bytes (see internal/cluster/fault.go), so
+// chaos-enabled daemons keep serving cache-compatible artifacts.
 type EngineShape struct {
 	// Nodes is the virtual node count (0 means 1).
 	Nodes int
 	// CoresPerNode is the per-node core count (0 means all local cores).
 	CoresPerNode int
+	// MaxTaskRetries bounds per-task retry attempts in the engine (0 means
+	// cluster.DefaultMaxTaskRetries; negative disables retries).
+	MaxTaskRetries int
+	// Speculation enables straggler duplication in the engine.
+	Speculation bool
+	// Faults, when non-nil, injects deterministic chaos into every job's
+	// engine (testing only).
+	Faults *cluster.FaultPlan
 }
 
 // newCluster builds the per-job execution cluster: the deployment's engine
@@ -38,7 +50,12 @@ func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer) (*
 	if cores <= 0 {
 		cores = 0 // cluster.Config fills GOMAXPROCS via MaxParallel below
 	}
-	cfg := cluster.Config{Nodes: nodes, CoresPerNode: cores, Context: ctx, Tracer: tracer}
+	cfg := cluster.Config{
+		Nodes: nodes, CoresPerNode: cores, Context: ctx, Tracer: tracer,
+		MaxTaskRetries: sh.MaxTaskRetries,
+		Speculation:    sh.Speculation,
+		Faults:         sh.Faults,
+	}
 	if cfg.CoresPerNode == 0 {
 		// Match cluster.Local(0): single node exposing every local core.
 		l := cluster.Local(0)

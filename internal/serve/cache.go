@@ -1,7 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,6 +36,7 @@ type Cache struct {
 	diskLRU    *list.List
 
 	hits, misses, evictions, spills int64
+	quarantined, spillWriteFailures int64
 }
 
 type memEntry struct {
@@ -99,13 +104,21 @@ func (c *Cache) Get(id string) ([]byte, bool) {
 	}
 	path := c.spillPath(id)
 	c.mu.Unlock()
-	data, err := os.ReadFile(path)
+	data, err := readSpillFile(path)
 	if err != nil {
-		// Spill file lost out from under us (operator cleanup); drop the
-		// index entry and report a miss.
+		// Spill file lost or damaged out from under us. A missing file
+		// (operator cleanup) just drops the index entry; a corrupt or
+		// truncated one is additionally quarantined — moved aside under a
+		// .quarantine suffix so the bad bytes stay inspectable but can never
+		// be served — and the artifact is reported as a miss, which makes
+		// the daemon regenerate it.
 		c.mu.Lock()
 		if cur, still := c.disk[id]; still && cur == el {
 			c.removeDiskLocked(el, false)
+		}
+		if errors.Is(err, errSpillCorrupt) {
+			c.quarantined++
+			os.Rename(path, path+".quarantine")
 		}
 		c.misses++
 		c.mu.Unlock()
@@ -177,7 +190,8 @@ func (c *Cache) evictOldestLocked() {
 	if c.dir == "" || int64(len(ent.data)) > c.diskBudget {
 		return
 	}
-	if err := os.WriteFile(c.spillPath(ent.id), ent.data, 0o644); err != nil {
+	if err := writeSpillFile(c.dir, c.spillPath(ent.id), ent.data); err != nil {
+		c.spillWriteFailures++
 		return // disk full or unwritable: degrade to plain eviction
 	}
 	c.spills++
@@ -206,6 +220,94 @@ func (c *Cache) spillPath(id string) string {
 	return filepath.Join(c.dir, id+".art")
 }
 
+// Spill file framing: artifacts on disk carry a magic, the payload length
+// and a SHA-256 digest, so a read can distinguish a healthy file from a
+// truncated or bit-rotted one instead of serving whatever bytes happen to
+// be there.
+//
+//	offset  size  field
+//	0       4     magic "CSB1"
+//	4       8     payload length, big endian
+//	12      32    SHA-256 of the payload
+//	44      n     payload
+var spillMagic = [4]byte{'C', 'S', 'B', '1'}
+
+const spillHeaderLen = 4 + 8 + sha256.Size
+
+// errSpillCorrupt marks a spill file whose contents cannot be trusted:
+// wrong magic, short read, or checksum mismatch. Callers quarantine on it.
+var errSpillCorrupt = errors.New("serve: spill file corrupt")
+
+// writeSpillFile persists framed artifact bytes atomically: the file is
+// assembled in a temp file in the same directory and renamed into place, so
+// a crash mid-write can never leave a torn file under the artifact's name.
+func writeSpillFile(dir, path string, data []byte) error {
+	var hdr [spillHeaderLen]byte
+	copy(hdr[:4], spillMagic[:])
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(data)))
+	sum := sha256.Sum256(data)
+	copy(hdr[12:], sum[:])
+
+	tmp, err := os.CreateTemp(dir, ".spill-*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(hdr[:])
+	if err == nil {
+		_, err = tmp.Write(data)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// readSpillFile loads and verifies a framed spill file. It returns an error
+// wrapping fs.ErrNotExist when the file is gone, or errSpillCorrupt when the
+// contents fail validation (bad magic, truncation, trailing garbage, or
+// checksum mismatch).
+func readSpillFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < spillHeaderLen || !bytes.Equal(raw[:4], spillMagic[:]) {
+		return nil, fmt.Errorf("%w: %s: bad header", errSpillCorrupt, filepath.Base(path))
+	}
+	want := binary.BigEndian.Uint64(raw[4:12])
+	payload := raw[spillHeaderLen:]
+	if uint64(len(payload)) != want {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d",
+			errSpillCorrupt, filepath.Base(path), len(payload), want)
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[12:spillHeaderLen]) {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", errSpillCorrupt, filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// DiskHealthy reports whether the spill tier is usable: disabled counts as
+// healthy (nothing to go wrong), otherwise the spill directory must exist.
+// The readiness probe uses this to take a daemon with a dead artifact disk
+// out of rotation.
+func (c *Cache) DiskHealthy() bool {
+	if c.dir == "" {
+		return true
+	}
+	info, err := os.Stat(c.dir)
+	if err != nil || !info.IsDir() {
+		return false
+	}
+	return true
+}
+
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
 	Entries     int
@@ -216,6 +318,12 @@ type CacheStats struct {
 	Misses      int64
 	Evictions   int64
 	Spills      int64
+	// Quarantined counts spill files that failed verification on read and
+	// were moved aside (the artifact was then regenerated).
+	Quarantined int64
+	// SpillErrors counts evictions that could not be spilled to disk
+	// (write or rename failure); the artifact degraded to plain eviction.
+	SpillErrors int64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -231,5 +339,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:      c.misses,
 		Evictions:   c.evictions,
 		Spills:      c.spills,
+		Quarantined: c.quarantined,
+		SpillErrors: c.spillWriteFailures,
 	}
 }

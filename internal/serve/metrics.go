@@ -17,7 +17,9 @@ type Metrics struct {
 	JobsCanceled  int64
 	JobsRejected  int64
 	JobsRunning   int64
+	JobRetries    int64
 	QueueDepth    int
+	Ready         bool
 	CacheHits     int64
 	CacheMisses   int64
 	BytesServed   int64
@@ -36,6 +38,10 @@ type StageMetric struct {
 	Work     time.Duration // summed task work
 	BytesIn  int64
 	BytesOut int64
+	// Fault-tolerance accounting, summed from the engine's task attempts.
+	Attempts    int64
+	Retries     int64
+	Speculative int64
 }
 
 // HitRatio returns cache hits / (hits + misses) at the job-admission level,
@@ -58,12 +64,14 @@ func (s *Server) Metrics() Metrics {
 		JobsCanceled:  s.canceled.Load(),
 		JobsRejected:  s.rejected.Load(),
 		JobsRunning:   s.running.Load(),
+		JobRetries:    s.retries.Load(),
 		QueueDepth:    s.QueueDepth(),
 		CacheHits:     s.hits.Load(),
 		CacheMisses:   s.misses.Load(),
 		BytesServed:   s.bytesServed.Load(),
 		Cache:         s.cache.Stats(),
 	}
+	m.Ready, _ = s.Ready()
 	agg := make(map[string]*StageMetric)
 	for _, span := range s.tracer.Spans() {
 		sm, ok := agg[span.Op]
@@ -77,6 +85,9 @@ func (s *Server) Metrics() Metrics {
 		sm.Work += span.Work
 		sm.BytesIn += span.BytesIn
 		sm.BytesOut += span.BytesOut
+		sm.Attempts += int64(span.Attempts)
+		sm.Retries += int64(span.Retries)
+		sm.Speculative += int64(span.Speculative)
 	}
 	m.Stages = make([]StageMetric, 0, len(agg))
 	for _, sm := range agg {
@@ -97,7 +108,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("csbd_jobs_canceled_total", m.JobsCanceled)
 	put("csbd_jobs_rejected_total", m.JobsRejected)
 	put("csbd_jobs_running", m.JobsRunning)
+	put("csbd_job_retries_total", m.JobRetries)
 	put("csbd_queue_depth", m.QueueDepth)
+	ready := 0
+	if m.Ready {
+		ready = 1
+	}
+	put("csbd_ready", ready)
 	put("csbd_cache_hits_total", m.CacheHits)
 	put("csbd_cache_misses_total", m.CacheMisses)
 	fmt.Fprintf(&b, "csbd_cache_hit_ratio %.4f\n", m.HitRatio())
@@ -107,10 +124,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("csbd_cache_disk_bytes", m.Cache.DiskBytes)
 	put("csbd_cache_evictions_total", m.Cache.Evictions)
 	put("csbd_cache_spills_total", m.Cache.Spills)
+	put("csbd_cache_quarantined_total", m.Cache.Quarantined)
+	put("csbd_cache_spill_errors_total", m.Cache.SpillErrors)
 	put("csbd_bytes_served_total", m.BytesServed)
 	for _, sm := range m.Stages {
 		fmt.Fprintf(&b, "csbd_stage_count{op=%q} %d\n", sm.Op, sm.Count)
 		fmt.Fprintf(&b, "csbd_stage_tasks_total{op=%q} %d\n", sm.Op, sm.Tasks)
+		fmt.Fprintf(&b, "csbd_stage_attempts_total{op=%q} %d\n", sm.Op, sm.Attempts)
+		fmt.Fprintf(&b, "csbd_stage_retries_total{op=%q} %d\n", sm.Op, sm.Retries)
+		fmt.Fprintf(&b, "csbd_stage_speculative_total{op=%q} %d\n", sm.Op, sm.Speculative)
 		fmt.Fprintf(&b, "csbd_stage_real_seconds_total{op=%q} %.6f\n", sm.Op, sm.Real.Seconds())
 		fmt.Fprintf(&b, "csbd_stage_work_seconds_total{op=%q} %.6f\n", sm.Op, sm.Work.Seconds())
 		fmt.Fprintf(&b, "csbd_stage_bytes_in_total{op=%q} %d\n", sm.Op, sm.BytesIn)

@@ -26,6 +26,14 @@ type Config struct {
 	// JobTimeout is the per-job deadline once a job starts running
 	// (0 means 10 minutes).
 	JobTimeout time.Duration
+	// JobRetries is how many times a failed generation is re-attempted
+	// before the job reports failed (0 means 1; negative disables retries).
+	// Cancellations and deadline overruns are terminal and never retried —
+	// only transient build errors are.
+	JobRetries int
+	// JobRetryBackoff is the pause between job attempts (0 means 200ms;
+	// negative disables the wait).
+	JobRetryBackoff time.Duration
 	// MaxEdges caps the target edge count a job may request (0 means 50M);
 	// admission control rejects larger asks with 400 before queuing.
 	MaxEdges int64
@@ -137,6 +145,7 @@ type Server struct {
 	rejected    atomic.Int64
 	hits        atomic.Int64 // submits answered from cache or coalesced onto a flight
 	misses      atomic.Int64 // submits that had to generate
+	retries     atomic.Int64 // job re-attempts after transient build failures
 	bytesServed atomic.Int64
 
 	// buildArtifact is swappable so admission-control tests can hold jobs
@@ -164,6 +173,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxEdges == 0 {
 		cfg.MaxEdges = 50_000_000
+	}
+	if cfg.JobRetries == 0 {
+		cfg.JobRetries = 1
+	} else if cfg.JobRetries < 0 {
+		cfg.JobRetries = 0
+	}
+	if cfg.JobRetryBackoff == 0 {
+		cfg.JobRetryBackoff = 200 * time.Millisecond
+	} else if cfg.JobRetryBackoff < 0 {
+		cfg.JobRetryBackoff = 0
 	}
 	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir, cfg.CacheDiskBytes)
 	if err != nil {
@@ -237,10 +256,30 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	j.mu.Unlock()
 
+	// Transient build failures are retried with backoff before the job
+	// reports failed — the daemon-level mirror of the engine's task
+	// attempts. Each attempt gets a fresh timeout; cancellation and
+	// deadline overruns are terminal (retrying them would double the
+	// client's wait for no benefit).
 	s.running.Add(1)
-	ctx, cancelTimeout := context.WithTimeout(j.ctx, s.cfg.JobTimeout)
-	data, err := s.buildArtifact(ctx, j.spec)
-	cancelTimeout()
+	var data []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		ctx, cancelTimeout := context.WithTimeout(j.ctx, s.cfg.JobTimeout)
+		data, err = s.buildArtifact(ctx, j.spec)
+		cancelTimeout()
+		if err == nil || attempt >= s.cfg.JobRetries ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		s.retries.Add(1)
+		if s.cfg.JobRetryBackoff > 0 {
+			select {
+			case <-j.ctx.Done():
+			case <-time.After(s.cfg.JobRetryBackoff):
+			}
+		}
+	}
 	s.running.Add(-1)
 
 	j.mu.Lock()
@@ -302,8 +341,12 @@ func (s *Server) Submit(spec *Spec) (JobStatus, error) {
 	s.submitted.Add(1)
 	artifact := spec.ID()
 
-	// Cache hit: the artifact already exists, no work to enqueue.
-	if s.cache.Contains(artifact) {
+	// Cache hit: the artifact already exists, no work to enqueue. Get (not
+	// Contains) so disk-tier entries are verified before the job is declared
+	// done — a corrupt spill file reads as a miss here, quarantines itself,
+	// and falls through to regeneration instead of minting a done job whose
+	// artifact would then 404.
+	if _, ok := s.cache.Get(artifact); ok {
 		s.hits.Add(1)
 		j := &job{
 			id: s.nextID(), spec: *spec, artifact: artifact,
@@ -387,6 +430,27 @@ func (s *Server) CancelJob(id string) bool {
 // QueueDepth returns the number of jobs waiting for a worker.
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
+// Ready reports whether the daemon should receive new traffic, with the
+// reason when it should not: a shutting-down server, a saturated job queue
+// (new submits would be shed with 429 anyway), or an unusable artifact
+// spill tier. This is the /readyz predicate — distinct from /healthz, which
+// only answers "is the process alive".
+func (s *Server) Ready() (bool, string) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "shutting down"
+	}
+	if len(s.queue) >= cap(s.queue) {
+		return false, "job queue saturated"
+	}
+	if !s.cache.DiskHealthy() {
+		return false, "artifact spill tier unavailable"
+	}
+	return true, "ok"
+}
+
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs            submit a Spec (JSON body)
@@ -394,7 +458,8 @@ func (s *Server) QueueDepth() int { return len(s.queue) }
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/artifact  stream the finished artifact
 //	GET    /v1/artifacts/{id}  stream an artifact by content address
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness (process is up)
+//	GET    /readyz             readiness (queue has room, spill tier usable)
 //	GET    /metrics            service + engine-stage metrics (text)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -405,6 +470,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Ready()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, reason+"\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -26,6 +26,7 @@ import (
 	"csb/internal/core"
 	"csb/internal/netflow"
 	"csb/internal/pcap"
+	"csb/internal/replay"
 	"csb/internal/workload"
 )
 
@@ -34,7 +35,7 @@ func main() {
 	log.SetPrefix("csbbench: ")
 
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 all")
+		exp       = flag.String("exp", "all", "experiment: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1 replay all")
 		hosts     = flag.Int("hosts", 100, "seed trace hosts")
 		sessions  = flag.Int("sessions", 2000, "seed trace sessions")
 		rngSeed   = flag.Uint64("seed", bench.DefaultSeed, "RNG seed")
@@ -92,6 +93,7 @@ func main() {
 		"extended":  func() { extended(seed, *synEdges, *rngSeed) },
 		"fourvs":    func() { fourVs(seed, *synEdges, *rngSeed) },
 		"chaos":     func() { chaos(seed, *synEdges, *rngSeed) },
+		"replay":    func() { replayExp(*hosts, *sessions, *rngSeed) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "baselines", "workload", "extended", "fourvs"} {
@@ -402,6 +404,49 @@ func chaos(seed *core.Seed, edges int64, rngSeed uint64) {
 				gen, rate, attempts, m.TaskFailures, m.TaskRetries, m.SpeculativeTasks,
 				m.Makespan.Seconds(), string(rendered) == string(baseline))
 		}
+	}
+}
+
+// replayExp measures the live-replay subsystem: sustained fan-out rate at
+// 1/4/16 subscribers (full speed, block policy — every stream complete), then
+// slow-subscriber isolation under the drop and disconnect policies (one
+// stalled subscriber must not slow the healthy ones). Real wall time, not the
+// virtual clock: the subsystem under test is the delivery path itself.
+func replayExp(hosts, sessions int, rngSeed uint64) {
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(hosts, sessions, rngSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := netflow.Assemble(pkts, 0)
+	if len(base) == 0 {
+		log.Fatal("no flows assembled from the seed trace")
+	}
+	flows := bench.TileFlows(base, 50_000/len(base)+1)
+
+	fmt.Println("# Replay fan-out: sustained flows/sec vs subscriber count (speed 0, block policy)")
+	fmt.Println("subscribers\tflows\telapsed_ms\tflows_per_sec\tdelivered_min")
+	pts, err := bench.ReplayFanout(flows, []int{1, 4, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%d\t%d\t%.1f\t%.0f\t%d\n",
+			p.Subscribers, p.Flows, float64(p.Elapsed.Microseconds())/1000, p.FlowsPerSec, p.DeliveredMin)
+	}
+
+	slowFlows := flows
+	if len(slowFlows) > 10_000 {
+		slowFlows = slowFlows[:10_000]
+	}
+	fmt.Println("\n# Replay isolation: 4 healthy + 1 stalled subscriber, rate-capped at 20k flows/sec")
+	fmt.Println("policy\thealthy\tflows\thealthy_min\tflows_per_sec\tdropped\tdisconnected")
+	sp, err := bench.ReplaySlowSubscriber(slowFlows, 4, 20_000, []replay.LagPolicy{replay.PolicyDrop, replay.PolicyDisconnect})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range sp {
+		fmt.Printf("%s\t%d\t%d\t%d\t%.0f\t%d\t%d\n",
+			p.Policy, p.Healthy, p.Flows, p.HealthyMin, p.FlowsPerSec, p.Dropped, p.Disconnected)
 	}
 }
 

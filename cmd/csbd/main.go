@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		specExec   = fs.Bool("speculation", false, "duplicate straggler tasks in the engine")
 		faultRate  = fs.Float64("fault-rate", 0, "injected engine fault rate for chaos runs (0 disables)")
 		faultSeed  = fs.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
+		replaySess = fs.Int("replay-sessions", 0, "concurrent live-replay session cap (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +85,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		CacheDir:       *cacheDir,
 		CacheDiskBytes: *cacheDisk,
 		Shape:          shape,
+		ReplaySessions: *replaySess,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,324 @@
+// Command csbreplay turns csb datasets into live traffic and consumes it
+// back: the CLI for internal/replay. It serves a dataset to any number of
+// TCP subscribers over the CSBS1 framed wire format, follows a csbd job and
+// replays its artifact, or consumes a stream — optionally through the
+// on-line anomaly detector, printing alerts as windows close.
+//
+// Usage:
+//
+//	csbreplay -flows flows.csv -addr :9000 -speed 10 -policy drop
+//	csbreplay -graph syn.csbg -addr :9000 -rate 50000
+//	csbreplay -artifact flows.csbf -addr :9000 -wait 4
+//	csbreplay -follow j1 -daemon http://localhost:8080 -addr :9000
+//	csbreplay -consume localhost:9000 -ids -window-sec 60
+//	csbreplay -flows flows.csv -flows-out flows.csbf
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"csb/internal/graph"
+	"csb/internal/ids"
+	"csb/internal/netflow"
+	"csb/internal/replay"
+	"csb/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "csbreplay:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored from main for testing. In serve mode,
+// ready (when non-nil) receives the bound listen address, and closing stop
+// aborts the run.
+func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("csbreplay", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		flowsIn    = fs.String("flows", "", "flow CSV to replay")
+		graphIn    = fs.String("graph", "", "property graph (CSBG) whose flow projection replays")
+		artifactIn = fs.String("artifact", "", "CSBF flow artifact to replay")
+		follow     = fs.String("follow", "", "csbd job id to follow and replay")
+		daemon     = fs.String("daemon", "http://localhost:8080", "csbd base URL for -follow")
+		addr       = fs.String("addr", "", "listen address for serving the stream")
+		speed      = fs.Float64("speed", 0, "time-warp factor (1 = real time, 0 = as fast as possible)")
+		rate       = fs.Float64("rate", 0, "emission cap in flows/sec (0 = unlimited)")
+		burst      = fs.Int("burst", 0, "token-bucket burst for -rate (0 = default)")
+		policyStr  = fs.String("policy", "block", "lag policy: block, drop or disconnect")
+		queueLen   = fs.Int("queue", 0, "per-subscriber queue bound in frames (0 = default)")
+		waitSubs   = fs.Int("wait", 0, "hold the clock until this many subscribers connect")
+		waitFor    = fs.Duration("wait-timeout", 60*time.Second, "bound on -wait (start anyway after)")
+		flowsOut   = fs.String("flows-out", "", "write the loaded flows as a CSBF artifact")
+		consume    = fs.String("consume", "", "address of a CSBS1 stream to consume")
+		runIDS     = fs.Bool("ids", false, "pipe consumed flows through the streaming detector")
+		windowSec  = fs.Int64("window-sec", 60, "streaming-detector window length in seconds")
+		horizonSec = fs.Int64("horizon-sec", 0, "streaming-detector reorder horizon in seconds")
+		rawOut     = fs.String("raw-out", "", "write consumed frame payloads to this file (byte-identity checks)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *consume != "" {
+		return consumeStream(*consume, *runIDS, *windowSec, *horizonSec, *rawOut, stdout)
+	}
+
+	policy, err := replay.ParseLagPolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+	flows, sha, err := loadFlows(*flowsIn, *graphIn, *artifactIn, *follow, *daemon)
+	if err != nil {
+		return err
+	}
+	// The replay contract wants non-decreasing start times; projections from
+	// generated graphs are timeline-free (all zero) and assembled CSVs are
+	// already sorted, but inputs from other tools may not be.
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	fmt.Fprintf(stdout, "loaded %d flows\n", len(flows))
+
+	if *flowsOut != "" {
+		f, err := os.Create(*flowsOut)
+		if err != nil {
+			return err
+		}
+		if err := replay.WriteFlowFile(f, flows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d flows)\n", *flowsOut, len(flows))
+		if *addr == "" {
+			return nil
+		}
+	}
+	if *addr == "" {
+		return fmt.Errorf("nothing to do: pass -addr to serve, -consume to subscribe, or -flows-out to convert")
+	}
+
+	srv, err := replay.NewServer(flows, replay.Options{
+		Speed: *speed, Rate: *rate, Burst: *burst,
+		Policy: policy, QueueLen: *queueLen, ArtifactSHA: sha,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "csbreplay serving %d flows on %s (speed=%v rate=%v policy=%s)\n",
+		len(flows), ln.Addr(), *speed, *rate, policy)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go srv.Serve(ln)
+	if *waitSubs > 0 {
+		if err := srv.AwaitSubscribers(*waitSubs, *waitFor); err != nil {
+			fmt.Fprintf(stdout, "%v; starting anyway\n", err)
+		}
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() { srv.Wait(); close(done) }()
+	select {
+	case <-done:
+		// Let caught-up subscribers read their end frames before the deferred
+		// Close tears the connections down.
+		if err := srv.Drain(30 * time.Second); err != nil {
+			fmt.Fprintf(stdout, "%v\n", err)
+		}
+	case <-stop:
+		srv.Close()
+		<-done
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "replay done: %d/%d flows emitted in %v (%.0f flows/sec), %d subscribers, %d dropped, %d disconnected\n",
+		st.Emitted, st.Flows, st.Elapsed.Round(time.Millisecond), st.FlowsPerSec,
+		st.SubscribersTotal, st.Dropped, st.Disconnected)
+	return nil
+}
+
+// loadFlows resolves the one dataset source the flags name, returning the
+// flows plus the SHA-256 stamped into the stream header.
+func loadFlows(flowsIn, graphIn, artifactIn, follow, daemon string) ([]netflow.Flow, [32]byte, error) {
+	var sha [32]byte
+	sources := 0
+	for _, s := range []string{flowsIn, graphIn, artifactIn, follow} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, sha, fmt.Errorf("exactly one of -flows, -graph, -artifact or -follow is required")
+	}
+	if follow != "" {
+		return followJob(daemon, follow)
+	}
+	var path string
+	switch {
+	case flowsIn != "":
+		path = flowsIn
+	case graphIn != "":
+		path = graphIn
+	default:
+		path = artifactIn
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, sha, err
+	}
+	sha = sha256.Sum256(data)
+	var flows []netflow.Flow
+	switch {
+	case flowsIn != "":
+		flows, err = netflow.ReadCSV(bytes.NewReader(data))
+	case graphIn != "":
+		var g *graph.Graph
+		if g, err = graph.Read(bytes.NewReader(data)); err == nil {
+			flows = netflow.FlowsFromGraph(g)
+		}
+	default:
+		flows, err = replay.ReadFlowFile(bytes.NewReader(data))
+	}
+	return flows, sha, err
+}
+
+// followJob polls a csbd job to completion, fetches its artifact and decodes
+// the flows (csv or csbg formats; others are not replayable).
+func followJob(daemon, jobID string) ([]netflow.Flow, [32]byte, error) {
+	var sha [32]byte
+	base := strings.TrimSuffix(daemon, "/")
+	var st serve.JobStatus
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + jobID)
+		if err != nil {
+			return nil, sha, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, sha, fmt.Errorf("job %s: daemon returned %s", jobID, resp.Status)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, sha, err
+		}
+		switch st.State {
+		case serve.StateDone:
+		case serve.StateQueued, serve.StateRunning:
+			time.Sleep(250 * time.Millisecond)
+			continue
+		default:
+			return nil, sha, fmt.Errorf("job %s is %s: %s", jobID, st.State, st.Error)
+		}
+		break
+	}
+	resp, err := http.Get(base + "/v1/artifacts/" + st.ArtifactID)
+	if err != nil {
+		return nil, sha, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, sha, fmt.Errorf("artifact %s: daemon returned %s", st.ArtifactID, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, sha, err
+	}
+	// The artifact id is the hex SHA-256 of the spec — the same address csbd
+	// stamps into its own replay streams.
+	if sum, err := hex.DecodeString(st.ArtifactID); err == nil && len(sum) == 32 {
+		copy(sha[:], sum)
+	}
+	var flows []netflow.Flow
+	switch st.Spec.Format {
+	case serve.FormatCSV:
+		flows, err = netflow.ReadCSV(bytes.NewReader(data))
+	case serve.FormatCSBG:
+		var g *graph.Graph
+		if g, err = graph.Read(bytes.NewReader(data)); err == nil {
+			flows = netflow.FlowsFromGraph(g)
+		}
+	default:
+		return nil, sha, fmt.Errorf("artifact format %q is not replayable (want csv or csbg)", st.Spec.Format)
+	}
+	return flows, sha, err
+}
+
+// consumeStream subscribes to a CSBS1 stream, optionally running the
+// streaming detector over the delivered flows and/or mirroring the raw
+// payload bytes to a file.
+func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut string, stdout io.Writer) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	var raw *os.File
+	if rawOut != "" {
+		if raw, err = os.Create(rawOut); err != nil {
+			return err
+		}
+		defer raw.Close()
+	}
+	var det *ids.StreamDetector
+	var alerts int
+	if runIDS {
+		det = ids.NewStreamDetector(ids.DefaultThresholds(), windowSec*1e6, func(a ids.Alert) {
+			alerts++
+			fmt.Fprintf(stdout, "[alert] %s\n", a)
+		})
+		if horizonSec > 0 {
+			det.SetReorderHorizon(horizonSec * 1e6)
+		}
+	}
+
+	st, err := replay.Consume(conn, func(seq uint64, f netflow.Flow, payload []byte) error {
+		if raw != nil {
+			if _, err := raw.Write(payload); err != nil {
+				return err
+			}
+		}
+		if det != nil {
+			det.Add(f) // late flows are counted; the stream keeps going
+		}
+		return nil
+	})
+	if det != nil {
+		det.Flush()
+	}
+	fmt.Fprintf(stdout, "consumed %d/%d flows (gaps=%d clean=%v)\n",
+		st.Received, st.Header.Flows, st.Gaps, st.Clean)
+	if det != nil {
+		fmt.Fprintf(stdout, "ids: %d alerts, %d late flows\n", alerts, det.LateFlows())
+	}
+	if err != nil {
+		return err
+	}
+	if !st.Clean {
+		return fmt.Errorf("stream ended without a clean end frame")
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+	"csb/internal/replay"
+	"csb/internal/serve"
+)
+
+// writeTestCSV synthesizes a small trace and writes its flows as CSV,
+// returning the path and the flows.
+func writeTestCSV(t *testing.T) (string, []netflow.Flow) {
+	t.Helper()
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(20, 300, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := netflow.Assemble(pkts, 0)
+	path := filepath.Join(t.TempDir(), "flows.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netflow.WriteCSV(f, flows); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, flows
+}
+
+// TestServeAndConsumeEndToEnd runs the binary's serve and consume paths
+// against each other: two consumers subscribe, both receive every flow, and
+// the raw payload bytes match the dataset's canonical encoding.
+func TestServeAndConsumeEndToEnd(t *testing.T) {
+	csvPath, flows := writeTestCSV(t)
+	dir := t.TempDir()
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	var serveOut bytes.Buffer
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{
+			"-flows", csvPath, "-addr", "127.0.0.1:0", "-wait", "2", "-wait-timeout", "30s",
+		}, &serveOut, ready, stop)
+	}()
+	addr := <-ready
+
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 2)
+	raws := make([]string, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		raws[i] = filepath.Join(dir, fmt.Sprintf("raw%d.bin", i))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run([]string{"-consume", addr, "-raw-out", raws[i]}, &outs[i], nil, nil)
+		}(i)
+	}
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	want := replay.EncodeFlows(flows) // Assemble sorts, so this is the canonical order
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("consume %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+		got, err := os.ReadFile(raws[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("consumer %d payload bytes differ from dataset (%d vs %d bytes)", i, len(got), len(want))
+		}
+		if !strings.Contains(outs[i].String(), "clean=true") {
+			t.Fatalf("consumer %d not clean:\n%s", i, outs[i].String())
+		}
+	}
+	if !strings.Contains(serveOut.String(), "replay done") {
+		t.Fatalf("serve output missing summary:\n%s", serveOut.String())
+	}
+}
+
+// TestFlowsOutRoundTrip converts a CSV to a CSBF artifact and checks the
+// artifact's flow section matches the canonical encoding.
+func TestFlowsOutRoundTrip(t *testing.T) {
+	csvPath, flows := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "flows.csbf")
+	var buf bytes.Buffer
+	if err := run([]string{"-flows", csvPath, "-flows-out", out}, &buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := replay.EncodeFlows(flows); !bytes.Equal(data[replay.FlowFileHeaderLen:], want) {
+		t.Fatal("CSBF flow section differs from canonical encoding")
+	}
+	back, err := replay.ReadFlowFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(flows) {
+		t.Fatalf("round trip: %d flows, want %d", len(back), len(flows))
+	}
+}
+
+// TestConsumeWithIDS streams a dataset with an injected host scan through the
+// consume-side streaming detector and expects an alert.
+func TestConsumeWithIDS(t *testing.T) {
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(20, 300, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := netflow.Assemble(pkts, 0)
+	// Append a blatant host scan: one source probing 1500 ports of one host
+	// in a tight burst right after the trace.
+	base := flows[len(flows)-1].EndMicros + 1e6
+	for i := 0; i < 1500; i++ {
+		flows = append(flows, netflow.Flow{
+			SrcIP: 0xbad00001, DstIP: 0x0a000003,
+			Protocol: 6, SrcPort: uint16(20000 + i), DstPort: uint16(i + 1),
+			StartMicros: base + int64(i)*100, EndMicros: base + int64(i)*100 + 50,
+			OutBytes: 40, OutPkts: 1, SYNCount: 1,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "scan.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netflow.WriteCSV(f, flows); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	serveErr := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		serveErr <- run([]string{"-flows", path, "-addr", "127.0.0.1:0", "-wait", "1"}, &out, ready, stop)
+	}()
+	addr := <-ready
+	var out bytes.Buffer
+	if err := run([]string{"-consume", addr, "-ids", "-window-sec", "60"}, &out, nil, nil); err != nil {
+		t.Fatalf("consume: %v\n%s", err, out.String())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !strings.Contains(out.String(), "[alert]") || !strings.Contains(out.String(), "host-scan") {
+		t.Fatalf("no host-scan alert in:\n%s", out.String())
+	}
+}
+
+// TestFollowDaemonJob runs -follow against a live csbd server: submit a csv
+// job, follow it, and convert the fetched artifact to CSBF.
+func TestFollowDaemonJob(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	spec := serve.Spec{Generator: serve.GenPGPBA, Hosts: 15, Sessions: 150, Seed: 3,
+		Fraction: 0.5, Edges: 2000, Format: serve.FormatCSV}
+	st, err := s.Submit(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(t.TempDir(), "followed.csbf")
+	var buf bytes.Buffer
+	if err := run([]string{"-follow", st.ID, "-daemon", ts.URL, "-flows-out", out}, &buf, nil, nil); err != nil {
+		t.Fatalf("follow: %v\n%s", err, buf.String())
+	}
+	flows, err := func() ([]netflow.Flow, error) {
+		f, err := os.Open(out)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return replay.ReadFlowFile(f)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("followed artifact decoded to zero flows")
+	}
+}

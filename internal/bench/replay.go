@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"csb/internal/netflow"
+	"csb/internal/replay"
+)
+
+// ReplayFanoutPoint is one fan-out measurement: a full-speed replay run to a
+// fixed number of subscribers over loopback TCP.
+type ReplayFanoutPoint struct {
+	Subscribers int
+	Flows       int
+	Elapsed     time.Duration
+	// FlowsPerSec is the emitter's sustained rate; DeliveredMin is the
+	// smallest per-subscriber delivery count (== Flows when every stream is
+	// complete, which the block policy guarantees).
+	FlowsPerSec  float64
+	DeliveredMin uint64
+}
+
+// ReplayFanout measures sustained emission rate versus subscriber count: for
+// each count, one as-fast-as-possible run under the block policy where every
+// subscriber must receive every flow.
+func ReplayFanout(flows []netflow.Flow, counts []int) ([]ReplayFanoutPoint, error) {
+	var out []ReplayFanoutPoint
+	for _, n := range counts {
+		srv, err := replay.NewServer(flows, replay.Options{Policy: replay.PolicyBlock})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+
+		received := make([]uint64, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer conn.Close()
+				st, err := replay.Consume(conn, nil)
+				received[i] = st.Received
+				if err != nil {
+					errs[i] = err
+				}
+			}(i)
+		}
+		if err := srv.AwaitSubscribers(n, 30*time.Second); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		srv.Wait()
+		wg.Wait()
+		st := srv.Stats()
+		srv.Close()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("bench: fanout subscriber %d: %w", i, err)
+			}
+		}
+		p := ReplayFanoutPoint{
+			Subscribers: n, Flows: st.Flows,
+			Elapsed: st.Elapsed, FlowsPerSec: st.FlowsPerSec,
+			DeliveredMin: received[0],
+		}
+		for _, r := range received {
+			if r < p.DeliveredMin {
+				p.DeliveredMin = r
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ReplaySlowPoint is one slow-subscriber isolation measurement: healthy
+// subscribers plus one stalled subscriber under a non-blocking lag policy.
+type ReplaySlowPoint struct {
+	Policy      string
+	Healthy     int
+	Flows       int
+	Elapsed     time.Duration
+	FlowsPerSec float64
+	// HealthyMin is the smallest delivery count across healthy subscribers —
+	// isolation holds when it equals Flows despite the stalled peer.
+	HealthyMin uint64
+	// Dropped and Disconnected count what the policy did to the stalled
+	// subscriber's stream.
+	Dropped      int64
+	Disconnected int64
+}
+
+// ReplaySlowSubscriber measures lag-policy isolation: healthy subscribers
+// consume over TCP while one stalled subscriber (attached but never reading
+// past the header) overflows its queue. Emission is rate-capped so healthy
+// subscribers trivially keep pace and any shortfall is attributable to the
+// stalled peer, not transport speed. A small queue makes the stall surface
+// within the first fraction of the run.
+func ReplaySlowSubscriber(flows []netflow.Flow, healthy int, rate float64, policies []replay.LagPolicy) ([]ReplaySlowPoint, error) {
+	var out []ReplaySlowPoint
+	for _, policy := range policies {
+		srv, err := replay.NewServer(flows, replay.Options{
+			Policy: policy, Rate: rate, Burst: 16, QueueLen: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+
+		// The stalled subscriber: reads the stream header, then nothing. Its
+		// unbuffered pipe blocks the writer on the first frame flush, so its
+		// queue fills and the policy has to act.
+		client, server := net.Pipe()
+		srv.Attach(server)
+		go func() {
+			hdr := make([]byte, replay.HeaderLen)
+			io.ReadFull(client, hdr)
+		}()
+		defer client.Close()
+
+		received := make([]uint64, healthy)
+		errs := make([]error, healthy)
+		var wg sync.WaitGroup
+		for i := 0; i < healthy; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer conn.Close()
+				st, err := replay.Consume(conn, nil)
+				received[i] = st.Received
+				if err != nil {
+					errs[i] = err
+				}
+			}(i)
+		}
+		if err := srv.AwaitSubscribers(healthy+1, 30*time.Second); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		srv.Wait()
+		wg.Wait()
+		st := srv.Stats()
+		srv.Close()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("bench: healthy subscriber %d under %s: %w", i, policy, err)
+			}
+		}
+		p := ReplaySlowPoint{
+			Policy: policy.String(), Healthy: healthy,
+			Flows: st.Flows, Elapsed: st.Elapsed, FlowsPerSec: st.FlowsPerSec,
+			HealthyMin:   received[0],
+			Dropped:      st.Dropped,
+			Disconnected: st.Disconnected,
+		}
+		for _, r := range received {
+			if r < p.HealthyMin {
+				p.HealthyMin = r
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// TileFlows repeats a flow set k times, shifting each copy past the previous
+// one on the timeline, to build a large sorted dataset from a small assembled
+// trace. With k <= 1 the input is returned unchanged.
+func TileFlows(flows []netflow.Flow, k int) []netflow.Flow {
+	if k <= 1 || len(flows) == 0 {
+		return flows
+	}
+	span := flows[len(flows)-1].StartMicros - flows[0].StartMicros + 1
+	out := make([]netflow.Flow, 0, len(flows)*k)
+	for i := 0; i < k; i++ {
+		shift := int64(i) * span
+		for _, f := range flows {
+			f.StartMicros += shift
+			f.EndMicros += shift
+			out = append(out, f)
+		}
+	}
+	return out
+}

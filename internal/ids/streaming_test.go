@@ -1,6 +1,7 @@
 package ids
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -139,6 +140,145 @@ func TestStreamMatchesOfflineOnSingleWindow(t *testing.T) {
 		if online[i].Type != offline[i].Type || online[i].IP != offline[i].IP {
 			t.Fatalf("alert %d differs: %v vs %v", i, online[i], offline[i])
 		}
+	}
+}
+
+// A flow starting exactly at a window boundary belongs to the next window:
+// the window is [start, start+window), so the boundary flow closes the
+// current window first and must not inflate its pattern counts.
+func TestStreamWindowBoundaryFlow(t *testing.T) {
+	const window = 60 * 1e6
+	s := NewStreamDetector(DefaultThresholds(), window, func(Alert) {})
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 0, EndMicros: 1000, OutPkts: 1})
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: window - 1, EndMicros: window, OutPkts: 1})
+	if s.Pending() != 2 || s.windowIdx != 0 {
+		t.Fatalf("pre-boundary: pending=%d windowIdx=%d", s.Pending(), s.windowIdx)
+	}
+	// Exactly on the boundary: closes window 0, lands alone in window 1.
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: window, EndMicros: window + 1000, OutPkts: 1})
+	if s.Pending() != 1 || s.windowIdx != 1 || s.start != window {
+		t.Fatalf("boundary flow misplaced: pending=%d windowIdx=%d start=%d",
+			s.Pending(), s.windowIdx, s.start)
+	}
+}
+
+// An attack whose final probe lands exactly on the window boundary keeps
+// that probe out of the first window: 299 probes inside plus 1 on the edge
+// must behave like 299, not 300.
+func TestStreamWindowBoundaryExcludesEdgeProbe(t *testing.T) {
+	const window = 60 * 1e6
+	victim := uint32(0x0a000007)
+	flows := hostScanFlows(victim, 300)
+	for i := range flows {
+		flows[i].StartMicros = int64(i) * window / 300
+		flows[i].EndMicros = flows[i].StartMicros + 1000
+	}
+	flows[299].StartMicros = window // exactly on the edge
+	flows[299].EndMicros = window + 1000
+
+	alerts := collectAlerts(t, window, flows)
+	if len(alerts) != 1 {
+		t.Fatalf("%d alerts (%v), want 1", len(alerts), alerts)
+	}
+	// The alert's pattern is the proof: the closed window aggregated 299
+	// probes, not 300 — the boundary probe was held for the next window.
+	if got := alerts[0].Pattern.NFlows; got != 299 {
+		t.Fatalf("window 0 aggregated %d flows, want 299 (edge probe leaked in)", got)
+	}
+}
+
+// Duplicate-alert suppression must not bridge an empty intervening window:
+// attack in window 0, nothing at all in window 1, attack again in window 2
+// is a pause-and-resume and re-alerts.
+func TestStreamReAlertsAcrossEmptyWindow(t *testing.T) {
+	const window = 60 * 1e6
+	var flows []netflow.Flow
+	flows = append(flows, streamScan(0x0a000008, 300, 0, 50*1e6)...)
+	flows = append(flows, streamScan(0x0a000008, 300, 2*window, 50*1e6)...)
+	alerts := collectAlerts(t, window, flows)
+	if len(alerts) != 2 {
+		t.Fatalf("empty window bridged suppression: %d alerts (%v)", len(alerts), alerts)
+	}
+	// Control: the same resumed attack in the adjacent window is suppressed.
+	flows = flows[:0]
+	flows = append(flows, streamScan(0x0a000008, 300, 0, 50*1e6)...)
+	flows = append(flows, streamScan(0x0a000008, 300, window, 50*1e6)...)
+	if alerts := collectAlerts(t, window, flows); len(alerts) != 1 {
+		t.Fatalf("adjacent continuation not suppressed: %d alerts", len(alerts))
+	}
+}
+
+// With a reorder horizon, jittered arrival order produces exactly the alerts
+// of in-order arrival.
+func TestStreamReorderWithinHorizon(t *testing.T) {
+	const window = 60 * 1e6
+	var flows []netflow.Flow
+	flows = append(flows, streamScan(0x0a000009, 300, 0, 50*1e6)...)
+	flows = append(flows, streamScan(0x0a000009, 300, 2*window, 50*1e6)...)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
+	inOrder := collectAlerts(t, window, flows)
+
+	// Jitter arrival: swap neighbors several positions apart (well inside a
+	// 5s horizon given probes are ~167ms apart).
+	jittered := append([]netflow.Flow(nil), flows...)
+	for i := 0; i+7 < len(jittered); i += 8 {
+		jittered[i], jittered[i+7] = jittered[i+7], jittered[i]
+	}
+	var alerts []Alert
+	s := NewStreamDetector(DefaultThresholds(), window, func(a Alert) { alerts = append(alerts, a) })
+	s.SetReorderHorizon(5 * 1e6)
+	for _, f := range jittered {
+		if err := s.Add(f); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	s.Flush()
+	if s.LateFlows() != 0 {
+		t.Fatalf("%d flows dropped as late", s.LateFlows())
+	}
+	if len(alerts) != len(inOrder) {
+		t.Fatalf("jittered: %d alerts, in-order: %d", len(alerts), len(inOrder))
+	}
+	for i := range alerts {
+		if alerts[i].Type != inOrder[i].Type || alerts[i].IP != inOrder[i].IP {
+			t.Fatalf("alert %d differs: %v vs %v", i, alerts[i], inOrder[i])
+		}
+	}
+}
+
+// A flow older than the current window (no horizon) or older than the
+// horizon is rejected with a typed error and counted, leaving window
+// accounting untouched.
+func TestStreamLateFlowTypedError(t *testing.T) {
+	s := NewStreamDetector(DefaultThresholds(), 60*1e6, func(Alert) {})
+	s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 120 * 1e6, EndMicros: 120*1e6 + 1, OutPkts: 1})
+	err := s.Add(netflow.Flow{SrcIP: 3, DstIP: 4, StartMicros: 10 * 1e6, EndMicros: 10*1e6 + 1, OutPkts: 1})
+	var late *LateFlowError
+	if !errors.As(err, &late) {
+		t.Fatalf("err = %v, want *LateFlowError", err)
+	}
+	if late.StartMicros != 10*1e6 {
+		t.Fatalf("late = %+v", late)
+	}
+	if s.LateFlows() != 1 || s.Pending() != 1 {
+		t.Fatalf("late=%d pending=%d", s.LateFlows(), s.Pending())
+	}
+
+	// With a horizon: in-horizon reordering is absorbed, beyond-horizon is
+	// the same typed error.
+	s = NewStreamDetector(DefaultThresholds(), 1e6, func(Alert) {})
+	s.SetReorderHorizon(10 * 1e6)
+	for _, start := range []int64{0, 30 * 1e6, 5 * 1e6, 50 * 1e6} {
+		if err := s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: start, EndMicros: start + 1, OutPkts: 1}); err != nil {
+			t.Fatalf("Add(%d): %v", start, err)
+		}
+	}
+	err = s.Add(netflow.Flow{SrcIP: 1, DstIP: 2, StartMicros: 25 * 1e6, EndMicros: 25*1e6 + 1, OutPkts: 1})
+	if !errors.As(err, &late) {
+		t.Fatalf("beyond-horizon err = %v, want *LateFlowError", err)
+	}
+	if s.LateFlows() != 1 {
+		t.Fatalf("late = %d", s.LateFlows())
 	}
 }
 

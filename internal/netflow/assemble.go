@@ -203,8 +203,13 @@ func tcpState(st *flowState) graph.TCPState {
 	}
 }
 
-// Finish flushes every open flow and returns all flows sorted by start time.
-// The Assembler can be reused afterwards.
+// Finish flushes every open flow and returns all flows sorted by start time,
+// with a stable tie-break on the 5-tuple for flows starting on the same
+// microsecond. Ties are common (port scans, floods) and the pre-sort order
+// leaks map iteration, so without the tie-break the output order — which the
+// replay engine's pacing and StreamDetector's non-decreasing-order contract
+// both consume — would vary run to run. The Assembler can be reused
+// afterwards.
 func (a *Assembler) Finish() []Flow {
 	for k, st := range a.active {
 		a.finalize(k, st)
@@ -215,8 +220,30 @@ func (a *Assembler) Finish() []Flow {
 	// earlier than the previous one ended must not suppress idle sweeps (or,
 	// with a stale high-water mark, trip one on the very first packet).
 	a.lastSweep = 0
-	sort.Slice(out, func(i, j int) bool { return out[i].StartMicros < out[j].StartMicros })
+	sort.Slice(out, func(i, j int) bool { return flowLess(&out[i], &out[j]) })
 	return out
+}
+
+// flowLess orders flows by StartMicros, then by the 5-tuple (src, dst,
+// ports, protocol) and EndMicros so equal-start flows have one canonical
+// order independent of map iteration.
+func flowLess(a, b *Flow) bool {
+	switch {
+	case a.StartMicros != b.StartMicros:
+		return a.StartMicros < b.StartMicros
+	case a.SrcIP != b.SrcIP:
+		return a.SrcIP < b.SrcIP
+	case a.DstIP != b.DstIP:
+		return a.DstIP < b.DstIP
+	case a.SrcPort != b.SrcPort:
+		return a.SrcPort < b.SrcPort
+	case a.DstPort != b.DstPort:
+		return a.DstPort < b.DstPort
+	case a.Protocol != b.Protocol:
+		return a.Protocol < b.Protocol
+	default:
+		return a.EndMicros < b.EndMicros
+	}
 }
 
 // Assemble is the one-shot convenience: packets in, flows out.

@@ -269,3 +269,40 @@ func TestAssemblerReuseResetsSweepClock(t *testing.T) {
 		t.Fatalf("second trace: got %d flows, want 2", len(flows))
 	}
 }
+
+// Finish must return one canonical order when flows share a start time: the
+// 5-tuple tie-break. Without it, map-iteration order leaks into the output —
+// many simultaneous flows (a scan, a flood) would come back shuffled run to
+// run, breaking replay pacing and the streaming detector's ordering
+// contract.
+func TestFinishDeterministicOrderOnEqualStarts(t *testing.T) {
+	const n = 64
+	build := func(perm []int) []Flow {
+		a := NewAssembler(0)
+		// One UDP packet per flow, all at the same microsecond, fed in the
+		// given permutation.
+		for _, i := range perm {
+			a.Add(pkt(1e6, hostA, hostB, pcap.IPProtoUDP, uint16(10000+i), 53, 0, 100))
+		}
+		return a.Finish()
+	}
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		fwd[i] = i
+		rev[i] = n - 1 - i
+	}
+	f1 := build(fwd)
+	f2 := build(rev)
+	if len(f1) != n || len(f2) != n {
+		t.Fatalf("flow counts %d, %d, want %d", len(f1), len(f2), n)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("order depends on insertion at index %d: %v vs %v", i, f1[i], f2[i])
+		}
+		if i > 0 && f1[i].SrcPort <= f1[i-1].SrcPort {
+			t.Fatalf("tie-break not canonical at %d: port %d after %d", i, f1[i].SrcPort, f1[i-1].SrcPort)
+		}
+	}
+}

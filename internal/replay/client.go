@@ -1,0 +1,50 @@
+package replay
+
+import (
+	"io"
+
+	"csb/internal/netflow"
+)
+
+// ConsumeStats summarizes one consumed stream.
+type ConsumeStats struct {
+	// Header is the stream header the server sent.
+	Header Header
+	// Received counts flow frames delivered; Gaps counts flows the server
+	// skipped for this stream under its drop policy (sequence holes).
+	Received uint64
+	Gaps     uint64
+	// Clean reports whether the stream ended with a verified end frame (as
+	// opposed to the connection dying mid-run, e.g. a disconnect-policy
+	// eviction or a server crash).
+	Clean bool
+}
+
+// Consume reads a CSBS1 stream to completion, invoking fn for every flow
+// frame. fn may be nil (useful for draining); returning an error from fn
+// aborts consumption. The returned stats are valid even on error.
+func Consume(r io.Reader, fn func(seq uint64, f netflow.Flow, raw []byte) error) (ConsumeStats, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return ConsumeStats{}, err
+	}
+	st := ConsumeStats{Header: sr.Header}
+	for {
+		fr, err := sr.Next()
+		if err != nil {
+			st.Received, st.Gaps = sr.Received, sr.Gaps
+			return st, err
+		}
+		if fr.End {
+			st.Received, st.Gaps = sr.Received, sr.Gaps
+			st.Clean = true
+			return st, nil
+		}
+		if fn != nil {
+			if err := fn(fr.Seq, fr.Flow, fr.Raw); err != nil {
+				st.Received, st.Gaps = sr.Received, sr.Gaps
+				return st, err
+			}
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csb/internal/netflow"
+)
+
+// Server replays one dataset to any number of concurrent TCP subscribers.
+// One run has one clock: the pacing engine emits each flow once, and every
+// emission fans out to all connected subscribers through bounded per-
+// subscriber queues. The lag policy decides what a full queue means — block
+// the clock, drop the frame for that subscriber, or disconnect it — so under
+// drop/disconnect one slow client can never stall the run or its peers.
+//
+// Lifecycle: NewServer → Serve (accept loop, usually in a goroutine) and/or
+// Attach → Start → Wait → Close. Subscribers connecting mid-run join the
+// stream at the current position (their first frame's sequence number says
+// where); subscribers connecting after the run get an immediate clean end
+// frame.
+type Server struct {
+	flows []netflow.Flow
+	slab  []byte // pre-encoded records; flow i is slab[i*FlowRecordLen:...]
+	opts  Options
+	clk   clock
+	hdr   [HeaderLen]byte
+
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	started bool
+	runOver bool // emitter finished; set under mu before queues close
+	closed  bool
+	ln      net.Listener
+
+	stop    chan struct{} // closed by Close: aborts pacing and accept loop
+	runDone chan struct{} // closed when the emitter finishes
+
+	emitted      atomic.Int64
+	dropped      atomic.Int64
+	disconnected atomic.Int64
+	subsTotal    atomic.Int64
+
+	startWall atomic.Int64 // unix nanos; 0 until Start
+	endWall   atomic.Int64 // unix nanos; 0 until the run finishes
+}
+
+// subscriber is one connected stream. The emitter enqueues flow indices on
+// ch; the writer goroutine frames and sends them. gone is closed when the
+// writer exits (connection error or eviction) so a block-policy emitter
+// never deadlocks on a dead peer.
+type subscriber struct {
+	conn      net.Conn
+	ch        chan int
+	gone      chan struct{}
+	closeOnce sync.Once
+	delivered uint64
+	dropped   atomic.Int64
+	evicted   atomic.Bool
+}
+
+// NewServer validates opts, checks the dataset is sorted by StartMicros (the
+// pacing contract) and pre-encodes every record.
+func NewServer(flows []netflow.Flow, opts Options) (*Server, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(flows); i++ {
+		if flows[i].StartMicros < flows[i-1].StartMicros {
+			return nil, fmt.Errorf("replay: flows not sorted by StartMicros (index %d)", i)
+		}
+	}
+	s := &Server{
+		flows:   flows,
+		slab:    EncodeFlows(flows),
+		opts:    opts,
+		clk:     realClock(),
+		subs:    make(map[*subscriber]struct{}),
+		stop:    make(chan struct{}),
+		runDone: make(chan struct{}),
+	}
+	s.hdr = EncodeHeader(Header{ArtifactSHA: opts.ArtifactSHA, Flows: uint64(len(flows))})
+	return s, nil
+}
+
+// Serve accepts subscribers on ln until ln is closed or the server is
+// closed. It is safe to run concurrently with Start.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("replay: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.Attach(conn)
+	}
+}
+
+// Attach registers an already-established connection as a subscriber. The
+// stream header goes out immediately; frames follow once the run reaches
+// this subscriber.
+func (s *Server) Attach(conn net.Conn) {
+	sub := &subscriber{
+		conn: conn,
+		ch:   make(chan int, s.opts.QueueLen),
+		gone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.subs[sub] = struct{}{}
+	runOver := s.runOver
+	s.mu.Unlock()
+	s.subsTotal.Add(1)
+	if runOver {
+		// Run already finished: the emitter's shutdown pass will never see
+		// this queue, so end the stream cleanly now. runOver is checked
+		// under the same lock the shutdown pass snapshots under, so exactly
+		// one side closes the channel.
+		close(sub.ch)
+	}
+	go s.writeLoop(sub)
+}
+
+// Subscribers returns the number of currently connected subscribers.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// AwaitSubscribers blocks until at least n subscribers are connected or the
+// timeout elapses (0 waits forever).
+func (s *Server) AwaitSubscribers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Subscribers() >= n {
+			return nil
+		}
+		select {
+		case <-s.stop:
+			return errors.New("replay: server closed")
+		default:
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("replay: %d subscriber(s) after %v, want %d", s.Subscribers(), timeout, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Drain waits until every subscriber's writer has finished — queues emptied,
+// end frames flushed, connections half-closed — or the timeout elapses
+// (0 waits forever). Call after Wait when shutting down gracefully: Close
+// alone tears connections down immediately, truncating streams that are
+// still catching up.
+func (s *Server) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Subscribers() == 0 {
+			return nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("replay: %d subscriber(s) still draining after %v", s.Subscribers(), timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Start launches the replay run. It errors if called twice or after Close.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("replay: server closed")
+	}
+	if s.started {
+		return errors.New("replay: run already started")
+	}
+	s.started = true
+	s.startWall.Store(time.Now().UnixNano())
+	go s.run()
+	return nil
+}
+
+// Wait blocks until the run has emitted every flow (or the server closed).
+func (s *Server) Wait() {
+	<-s.runDone
+}
+
+// Done reports whether the run has finished.
+func (s *Server) Done() bool {
+	select {
+	case <-s.runDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the emitter: one pass over the dataset on the pacing schedule,
+// fanning each flow out under the lag policy.
+func (s *Server) run() {
+	defer func() {
+		s.endWall.Store(time.Now().UnixNano())
+		// Close every queue so the writers emit end frames and finish.
+		// runOver flips under the same lock as the snapshot, so a
+		// concurrent Attach either lands in the snapshot or closes its own
+		// queue — never both.
+		s.mu.Lock()
+		s.runOver = true
+		subs := make([]*subscriber, 0, len(s.subs))
+		for sub := range s.subs {
+			subs = append(subs, sub)
+		}
+		s.mu.Unlock()
+		for _, sub := range subs {
+			close(sub.ch)
+		}
+		close(s.runDone)
+	}()
+	if len(s.flows) == 0 {
+		return
+	}
+	p := newPacer(s.clk, s.opts)
+	p.start(s.flows[0].StartMicros)
+	for i := range s.flows {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		p.wait(s.flows[i].StartMicros)
+		s.broadcast(i)
+		s.emitted.Add(1)
+	}
+}
+
+// broadcast offers flow index i to every live subscriber under the policy.
+func (s *Server) broadcast(i int) {
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		switch s.opts.Policy {
+		case PolicyDrop:
+			select {
+			case sub.ch <- i:
+			default:
+				sub.dropped.Add(1)
+				s.dropped.Add(1)
+			}
+		case PolicyDisconnect:
+			select {
+			case sub.ch <- i:
+			default:
+				s.evict(sub)
+				s.disconnected.Add(1)
+			}
+		default: // PolicyBlock
+			select {
+			case sub.ch <- i:
+			case <-sub.gone:
+			case <-s.stop:
+				return
+			}
+		}
+	}
+}
+
+// evict removes a lagging subscriber: closing the connection unblocks any
+// in-flight write and makes its writer exit.
+func (s *Server) evict(sub *subscriber) {
+	sub.evicted.Store(true)
+	s.removeSub(sub)
+	sub.closeOnce.Do(func() { sub.conn.Close() })
+}
+
+// removeSub unregisters a subscriber (idempotent).
+func (s *Server) removeSub(sub *subscriber) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}
+
+// writeLoop frames and sends one subscriber's stream. The send buffer is
+// flushed whenever the queue drains, so a caught-up live stream sees every
+// flow promptly while a catching-up stream batches.
+func (s *Server) writeLoop(sub *subscriber) {
+	defer close(sub.gone)
+	defer s.removeSub(sub)
+	defer sub.closeOnce.Do(func() { sub.conn.Close() })
+	if _, err := sub.conn.Write(s.hdr[:]); err != nil {
+		return
+	}
+	fw := newFrameWriter(sub.conn)
+	for i := range sub.ch {
+		payload := s.slab[i*FlowRecordLen : (i+1)*FlowRecordLen]
+		if err := fw.writeFrame(uint64(i), payload); err != nil {
+			return
+		}
+		sub.delivered++
+		if len(sub.ch) == 0 {
+			if err := fw.w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	if sub.evicted.Load() {
+		return
+	}
+	if err := fw.writeEnd(sub.delivered); err != nil {
+		return
+	}
+	// Half-close when possible so the peer reads a clean EOF after the end
+	// frame; the deferred Close tears the rest down.
+	if cw, ok := sub.conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+}
+
+// Close aborts the run (if any), stops the accept loop and disconnects all
+// subscribers. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	started := s.started
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	if ln != nil {
+		ln.Close()
+	}
+	if started {
+		<-s.runDone
+	} else {
+		// The run will never start (Start errors once closed): release any
+		// Wait callers and close the queues so the writers exit.
+		s.mu.Lock()
+		s.runOver = true
+		s.mu.Unlock()
+		for _, sub := range subs {
+			close(sub.ch)
+		}
+		close(s.runDone)
+	}
+	for _, sub := range subs {
+		sub.closeOnce.Do(func() { sub.conn.Close() })
+	}
+}
+
+// Stats is a point-in-time snapshot of one replay run.
+type Stats struct {
+	// Flows is the dataset size.
+	Flows int
+	// Emitted counts flows the clock has released so far.
+	Emitted int64
+	// Subscribers is the current subscriber count; SubscribersTotal counts
+	// every subscriber that ever connected.
+	Subscribers      int
+	SubscribersTotal int64
+	// Dropped counts frames skipped under PolicyDrop, summed over
+	// subscribers; Disconnected counts PolicyDisconnect evictions.
+	Dropped      int64
+	Disconnected int64
+	// Done reports whether the run has finished; Elapsed is the run's wall
+	// time so far (or final); FlowsPerSec is Emitted/Elapsed.
+	Done        bool
+	Elapsed     time.Duration
+	FlowsPerSec float64
+}
+
+// Stats snapshots the run counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Flows:            len(s.flows),
+		Emitted:          s.emitted.Load(),
+		Subscribers:      s.Subscribers(),
+		SubscribersTotal: s.subsTotal.Load(),
+		Dropped:          s.dropped.Load(),
+		Disconnected:     s.disconnected.Load(),
+		Done:             s.Done(),
+	}
+	if start := s.startWall.Load(); start != 0 {
+		end := s.endWall.Load()
+		if end == 0 {
+			end = time.Now().UnixNano()
+		}
+		st.Elapsed = time.Duration(end - start)
+		if st.Elapsed > 0 {
+			st.FlowsPerSec = float64(st.Emitted) / st.Elapsed.Seconds()
+		}
+	}
+	return st
+}

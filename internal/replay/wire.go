@@ -1,0 +1,356 @@
+// Package replay turns static csb datasets into live traffic: a flow-replay
+// engine that re-emits an assembled dataset on its original inter-flow
+// timeline (with a time-warp factor and an optional token-bucket rate cap)
+// and a TCP streaming server that fans each run out to many concurrent
+// subscribers — the delivery half of "on-line intrusion detection with
+// streaming data", the paper's stated future work. Datasets stop being files
+// and start being traffic an external NIDS (or internal/ids.StreamDetector)
+// can consume as it happens.
+//
+// The wire format (CSBS1) is versioned, length-framed and self-verifying:
+//
+//	stream header (48 bytes):
+//	  [0:5]   magic "CSBS1"
+//	  [5]     flags (0)
+//	  [6:8]   record length, uint16 BE (FlowRecordLen)
+//	  [8:40]  SHA-256 content address of the source artifact (zero if unknown)
+//	  [40:48] flow count of the run, uint64 BE
+//
+//	frame:
+//	  [0:4]   payload length, uint32 BE (FlowRecordLen, or 0 = end of stream)
+//	  [4:12]  sequence number, uint64 BE (flow index in the run; the end
+//	          frame carries the count of flows emitted to this stream)
+//	  [12:..] payload (one flow record)
+//	  [..+4]  rolling CRC32 (IEEE), uint32 BE, of every payload byte
+//	          delivered on this stream so far including this frame
+//
+// The sequence number makes lag-policy drops visible (a gap in seq), and the
+// rolling checksum makes silent corruption or truncation detectable at every
+// frame, not just at end of stream. Concatenating the payloads of a
+// gap-free stream reproduces the source artifact's flow section byte for
+// byte.
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"csb/internal/graph"
+	"csb/internal/netflow"
+)
+
+// Wire-format constants.
+const (
+	// MagicStream opens every CSBS1 stream.
+	MagicStream = "CSBS1"
+	// MagicFlowFile opens a CSBF1 flow artifact (header + raw records).
+	MagicFlowFile = "CSBF1"
+	// HeaderLen is the CSBS1 stream header length.
+	HeaderLen = 48
+	// FlowFileHeaderLen is the CSBF1 flow-artifact header length.
+	FlowFileHeaderLen = 16
+	// FlowRecordLen is the fixed encoded size of one flow record.
+	FlowRecordLen = 80
+	// frameOverhead is the per-frame framing cost: length + seq + crc.
+	frameOverhead = 4 + 8 + 4
+)
+
+// Header is the decoded CSBS1 stream header.
+type Header struct {
+	// ArtifactSHA is the SHA-256 content address of the dataset being
+	// replayed (the csbd spec ID when the daemon serves the run, the file
+	// hash when csbreplay serves a local artifact). All zero when unknown.
+	ArtifactSHA [32]byte
+	// Flows is the total flow count of the run.
+	Flows uint64
+}
+
+// EncodeHeader serializes h.
+func EncodeHeader(h Header) [HeaderLen]byte {
+	var b [HeaderLen]byte
+	copy(b[0:5], MagicStream)
+	binary.BigEndian.PutUint16(b[6:8], FlowRecordLen)
+	copy(b[8:40], h.ArtifactSHA[:])
+	binary.BigEndian.PutUint64(b[40:48], h.Flows)
+	return b
+}
+
+// DecodeHeader parses and validates a CSBS1 stream header.
+func DecodeHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, fmt.Errorf("replay: short stream header (%d bytes)", len(b))
+	}
+	if string(b[0:5]) != MagicStream {
+		return h, fmt.Errorf("replay: bad stream magic %q", b[0:5])
+	}
+	if rl := binary.BigEndian.Uint16(b[6:8]); rl != FlowRecordLen {
+		return h, fmt.Errorf("replay: record length %d, want %d", rl, FlowRecordLen)
+	}
+	copy(h.ArtifactSHA[:], b[8:40])
+	h.Flows = binary.BigEndian.Uint64(b[40:48])
+	return h, nil
+}
+
+// EncodeFlow serializes one flow record into the fixed 80-byte wire form.
+// All integers are big-endian; the encoding round-trips every Flow field.
+func EncodeFlow(f *netflow.Flow) [FlowRecordLen]byte {
+	var b [FlowRecordLen]byte
+	binary.BigEndian.PutUint32(b[0:4], f.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], f.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], f.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], f.DstPort)
+	b[12] = uint8(f.Protocol)
+	b[13] = uint8(f.State)
+	binary.BigEndian.PutUint64(b[16:24], uint64(f.StartMicros))
+	binary.BigEndian.PutUint64(b[24:32], uint64(f.EndMicros))
+	binary.BigEndian.PutUint64(b[32:40], uint64(f.OutBytes))
+	binary.BigEndian.PutUint64(b[40:48], uint64(f.InBytes))
+	binary.BigEndian.PutUint64(b[48:56], uint64(f.OutPkts))
+	binary.BigEndian.PutUint64(b[56:64], uint64(f.InPkts))
+	binary.BigEndian.PutUint64(b[64:72], uint64(f.SYNCount))
+	binary.BigEndian.PutUint64(b[72:80], uint64(f.ACKCount))
+	return b
+}
+
+// DecodeFlow parses one 80-byte flow record.
+func DecodeFlow(b []byte) (netflow.Flow, error) {
+	var f netflow.Flow
+	if len(b) < FlowRecordLen {
+		return f, fmt.Errorf("replay: short flow record (%d bytes)", len(b))
+	}
+	f.SrcIP = binary.BigEndian.Uint32(b[0:4])
+	f.DstIP = binary.BigEndian.Uint32(b[4:8])
+	f.SrcPort = binary.BigEndian.Uint16(b[8:10])
+	f.DstPort = binary.BigEndian.Uint16(b[10:12])
+	f.Protocol = graph.Protocol(b[12])
+	f.State = graph.TCPState(b[13])
+	f.StartMicros = int64(binary.BigEndian.Uint64(b[16:24]))
+	f.EndMicros = int64(binary.BigEndian.Uint64(b[24:32]))
+	f.OutBytes = int64(binary.BigEndian.Uint64(b[32:40]))
+	f.InBytes = int64(binary.BigEndian.Uint64(b[40:48]))
+	f.OutPkts = int64(binary.BigEndian.Uint64(b[48:56]))
+	f.InPkts = int64(binary.BigEndian.Uint64(b[56:64]))
+	f.SYNCount = int64(binary.BigEndian.Uint64(b[64:72]))
+	f.ACKCount = int64(binary.BigEndian.Uint64(b[72:80]))
+	return f, nil
+}
+
+// EncodeFlows concatenates the wire records of a flow set — the "flow
+// section" of a CSBF1 artifact, and exactly what a gap-free subscriber's
+// concatenated frame payloads reproduce.
+func EncodeFlows(flows []netflow.Flow) []byte {
+	out := make([]byte, 0, len(flows)*FlowRecordLen)
+	for i := range flows {
+		rec := EncodeFlow(&flows[i])
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// WriteFlowFile writes flows as a CSBF1 flow artifact: a 16-byte header
+// (magic, record length, count) followed by the raw concatenated records.
+func WriteFlowFile(w io.Writer, flows []netflow.Flow) error {
+	var hdr [FlowFileHeaderLen]byte
+	copy(hdr[0:5], MagicFlowFile)
+	binary.BigEndian.PutUint16(hdr[6:8], FlowRecordLen)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(flows)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i := range flows {
+		rec := EncodeFlow(&flows[i])
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlowFile parses a CSBF1 flow artifact.
+func ReadFlowFile(r io.Reader) ([]netflow.Flow, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [FlowFileHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("replay: flow-file header: %w", err)
+	}
+	if string(hdr[0:5]) != MagicFlowFile {
+		return nil, fmt.Errorf("replay: bad flow-file magic %q", hdr[0:5])
+	}
+	if rl := binary.BigEndian.Uint16(hdr[6:8]); rl != FlowRecordLen {
+		return nil, fmt.Errorf("replay: flow-file record length %d, want %d", rl, FlowRecordLen)
+	}
+	count := binary.BigEndian.Uint64(hdr[8:16])
+	if count > 1<<40 {
+		return nil, fmt.Errorf("replay: implausible flow count %d", count)
+	}
+	flows := make([]netflow.Flow, 0, count)
+	var rec [FlowRecordLen]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("replay: flow record %d: %w", i, err)
+		}
+		f, err := DecodeFlow(rec[:])
+		if err != nil {
+			return nil, err
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// frameWriter emits framed records with the per-stream rolling checksum.
+// It is not safe for concurrent use; each subscriber owns one.
+type frameWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriterSize(w, 1<<15)}
+}
+
+// writeFrame emits one flow frame and folds the payload into the rolling
+// checksum.
+func (fw *frameWriter) writeFrame(seq uint64, payload []byte) error {
+	var pre [12]byte
+	binary.BigEndian.PutUint32(pre[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(pre[4:12], seq)
+	if _, err := fw.w.Write(pre[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	fw.crc = crc32.Update(fw.crc, crc32.IEEETable, payload)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], fw.crc)
+	_, err := fw.w.Write(sum[:])
+	return err
+}
+
+// writeEnd emits the end-of-stream frame (zero length, final checksum) and
+// flushes. delivered is the number of flow frames this stream carried.
+func (fw *frameWriter) writeEnd(delivered uint64) error {
+	var pre [12]byte
+	binary.BigEndian.PutUint64(pre[4:12], delivered)
+	if _, err := fw.w.Write(pre[:]); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], fw.crc)
+	if _, err := fw.w.Write(sum[:]); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// Frame is one decoded stream frame.
+type Frame struct {
+	// Seq is the flow's index in the run (frames skipped by a drop-policy
+	// server show up as gaps in Seq).
+	Seq uint64
+	// Flow is the decoded record.
+	Flow netflow.Flow
+	// Raw is the payload as delivered (aliased into the reader's buffer
+	// only until the next call; copy to retain).
+	Raw []byte
+	// End marks the end-of-stream frame; Seq then holds the delivered
+	// count and Flow/Raw are zero.
+	End bool
+}
+
+// StreamReader consumes one CSBS1 stream, verifying the rolling checksum on
+// every frame.
+type StreamReader struct {
+	br  *bufio.Reader
+	crc uint32
+	buf [FlowRecordLen]byte
+
+	// Header is the stream header, decoded at construction.
+	Header Header
+	// Received counts flow frames read so far.
+	Received uint64
+	// Gaps counts flows skipped by the sender's lag policy, derived from
+	// sequence-number jumps.
+	Gaps uint64
+
+	nextSeq uint64
+	started bool
+	done    bool
+}
+
+// NewStreamReader reads and validates the stream header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReaderSize(r, 1<<15)
+	var hb [HeaderLen]byte
+	if _, err := io.ReadFull(br, hb[:]); err != nil {
+		return nil, fmt.Errorf("replay: stream header: %w", err)
+	}
+	h, err := DecodeHeader(hb[:])
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{br: br, Header: h}, nil
+}
+
+// Next returns the next frame. After the end-of-stream frame is returned
+// (End true), subsequent calls return io.EOF.
+func (sr *StreamReader) Next() (Frame, error) {
+	if sr.done {
+		return Frame{}, io.EOF
+	}
+	var pre [12]byte
+	if _, err := io.ReadFull(sr.br, pre[:]); err != nil {
+		return Frame{}, fmt.Errorf("replay: frame header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(pre[0:4])
+	seq := binary.BigEndian.Uint64(pre[4:12])
+	if length == 0 {
+		var sum [4]byte
+		if _, err := io.ReadFull(sr.br, sum[:]); err != nil {
+			return Frame{}, fmt.Errorf("replay: end frame: %w", err)
+		}
+		if got := binary.BigEndian.Uint32(sum[:]); got != sr.crc {
+			return Frame{}, fmt.Errorf("replay: final checksum %08x, want %08x", got, sr.crc)
+		}
+		if seq != sr.Received {
+			return Frame{}, fmt.Errorf("replay: end frame claims %d flows, received %d", seq, sr.Received)
+		}
+		sr.done = true
+		return Frame{Seq: seq, End: true}, nil
+	}
+	if length != FlowRecordLen {
+		return Frame{}, fmt.Errorf("replay: frame length %d, want %d", length, FlowRecordLen)
+	}
+	if _, err := io.ReadFull(sr.br, sr.buf[:]); err != nil {
+		return Frame{}, fmt.Errorf("replay: frame payload: %w", err)
+	}
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, sr.buf[:])
+	var sum [4]byte
+	if _, err := io.ReadFull(sr.br, sum[:]); err != nil {
+		return Frame{}, fmt.Errorf("replay: frame checksum: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(sum[:]); got != sr.crc {
+		return Frame{}, fmt.Errorf("replay: rolling checksum %08x at seq %d, want %08x", got, seq, sr.crc)
+	}
+	if sr.started {
+		if seq < sr.nextSeq {
+			return Frame{}, fmt.Errorf("replay: sequence %d went backwards (expected >= %d)", seq, sr.nextSeq)
+		}
+		sr.Gaps += seq - sr.nextSeq
+	} else {
+		sr.started = true
+	}
+	sr.nextSeq = seq + 1
+	f, err := DecodeFlow(sr.buf[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	sr.Received++
+	return Frame{Seq: seq, Flow: f, Raw: sr.buf[:]}, nil
+}

@@ -24,6 +24,8 @@ type Metrics struct {
 	CacheMisses   int64
 	BytesServed   int64
 	Cache         CacheStats
+	// Replay aggregates the live-replay subsystem (POST /replay sessions).
+	Replay ReplayMetrics
 	// Stages aggregates the engine-stage spans of every job cluster by
 	// operation name, sorted by op.
 	Stages []StageMetric
@@ -70,6 +72,7 @@ func (s *Server) Metrics() Metrics {
 		CacheMisses:   s.misses.Load(),
 		BytesServed:   s.bytesServed.Load(),
 		Cache:         s.cache.Stats(),
+		Replay:        s.replayMetrics(),
 	}
 	m.Ready, _ = s.Ready()
 	agg := make(map[string]*StageMetric)
@@ -127,6 +130,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("csbd_cache_quarantined_total", m.Cache.Quarantined)
 	put("csbd_cache_spill_errors_total", m.Cache.SpillErrors)
 	put("csbd_bytes_served_total", m.BytesServed)
+	put("csbd_replay_sessions_active", m.Replay.SessionsActive)
+	put("csbd_replay_sessions", m.Replay.Sessions)
+	put("csbd_replay_sessions_total", m.Replay.SessionsTotal)
+	put("csbd_replay_subscribers", m.Replay.Subscribers)
+	put("csbd_replay_subscribers_total", m.Replay.SubscribersTotal)
+	put("csbd_replay_emitted_flows_total", m.Replay.Emitted)
+	put("csbd_replay_dropped_frames_total", m.Replay.Dropped)
+	put("csbd_replay_disconnected_total", m.Replay.Disconnected)
+	fmt.Fprintf(&b, "csbd_replay_flows_per_sec %.2f\n", m.Replay.FlowsPerSec)
 	for _, sm := range m.Stages {
 		fmt.Fprintf(&b, "csbd_stage_count{op=%q} %d\n", sm.Op, sm.Count)
 		fmt.Fprintf(&b, "csbd_stage_tasks_total{op=%q} %d\n", sm.Op, sm.Tasks)

@@ -48,6 +48,9 @@ type Config struct {
 	// is one node with all local cores — the csbgen default, which keeps
 	// daemon artifacts byte-identical to CLI output on the same host.
 	Shape EngineShape
+	// ReplaySessions caps concurrently-running replay sessions (0 means
+	// DefaultReplaySessions); POST /replay beyond the cap is shed with 429.
+	ReplaySessions int
 }
 
 // JobState is the lifecycle state of a job.
@@ -136,6 +139,14 @@ type Server struct {
 	inflight map[string]*job // artifact id -> queued/running job (single-flight)
 	closed   bool
 
+	// Replay sessions (internal/replay) keyed by session id; rtotals
+	// accumulates the counters of deleted sessions for /metrics.
+	rmu           sync.Mutex
+	replays       map[string]*replaySession
+	replaysClosed bool
+	rseq          atomic.Int64
+	rtotals       replayTotals
+
 	seq         atomic.Int64
 	running     atomic.Int64
 	submitted   atomic.Int64
@@ -198,6 +209,7 @@ func New(cfg Config) (*Server, error) {
 		queue:    make(chan *job, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		replays:  make(map[string]*replaySession),
 	}
 	s.buildArtifact = func(ctx context.Context, spec Spec) ([]byte, error) {
 		c, err := cfg.Shape.newCluster(ctx, s.tracer)
@@ -234,6 +246,7 @@ func (s *Server) Close() {
 	s.stop()
 	close(s.queue)
 	s.wg.Wait()
+	s.closeReplays()
 }
 
 // worker drains the job queue.
@@ -458,6 +471,9 @@ func (s *Server) Ready() (bool, string) {
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/jobs/{id}/artifact  stream the finished artifact
 //	GET    /v1/artifacts/{id}  stream an artifact by content address
+//	POST   /replay             start a live replay session of an artifact
+//	GET    /replay/{id}        poll replay session status
+//	DELETE /replay/{id}        stop a replay session
 //	GET    /healthz            liveness (process is up)
 //	GET    /readyz             readiness (queue has room, spill tier usable)
 //	GET    /metrics            service + engine-stage metrics (text)
@@ -468,6 +484,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleJobArtifact)
 	mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
+	mux.HandleFunc("POST /replay", s.handleReplayStart)
+	mux.HandleFunc("GET /replay/{id}", s.handleReplayStatus)
+	mux.HandleFunc("DELETE /replay/{id}", s.handleReplayStop)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,8 @@ func main() {
 		stageTab  = flag.Bool("stages", false, "print the stage table after cluster experiments (fig8-12)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		jsonMode  = flag.Bool("json", false, "run the hot-path benchmark suite and write a machine-readable JSON report")
+		jsonOut   = flag.String("json-out", "BENCH_PR5.json", "output path for the -json benchmark report")
 	)
 	flag.Parse()
 
@@ -67,6 +70,11 @@ func main() {
 
 	seed := buildSeed(*hosts, *sessions, *rngSeed)
 	log.Printf("seed: %d vertices, %d edges", seed.Graph.NumVertices(), seed.Graph.NumEdges())
+
+	if *jsonMode {
+		hotpathJSON(seed, *rngSeed, *jsonOut)
+		return
+	}
 
 	sizes := parseInt64s(*sizesArg)
 	fractions := parseFloats(*fracArg)
@@ -109,6 +117,31 @@ func main() {
 	}
 	run()
 	finishTrace(tracer, *traceOut, *stageTab)
+}
+
+// hotpathJSON runs the hot-path benchmark suite (generators end-to-end,
+// shuffle, flow assembly, replay fan-out), prints a human-readable table, and
+// writes the machine-readable report CI archives as a benchmark baseline.
+func hotpathJSON(seed *core.Seed, rngSeed uint64, out string) {
+	rep, err := bench.Hotpath(seed, rngSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("# Hot-path benchmark suite")
+	fmt.Println("name\tns_per_op\tB_per_op\tallocs_per_op\titems_per_sec\tunit")
+	for _, r := range rep.Results {
+		fmt.Printf("%s\t%.0f\t%d\t%d\t%.0f\t%s/sec\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.ItemsPerSec, r.Unit)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark results to %s", len(rep.Results), out)
 }
 
 // startCPUProfile begins pprof CPU capture; the returned func stops it.

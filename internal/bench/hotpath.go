@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"csb/internal/cluster"
+	"csb/internal/core"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+// HotpathSchema versions the machine-readable benchmark report so CI
+// consumers can detect incompatible changes.
+const HotpathSchema = "csb-hotpath-bench/1"
+
+// HotpathResult is one row of the hot-path benchmark suite: the standard
+// testing.B counters plus a domain throughput (edges/sec or flows/sec) so
+// regressions show up in the units the paper reports.
+type HotpathResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Items is how many domain items (edges or flows) one op processes.
+	Items int64 `json:"items"`
+	// ItemsPerSec is Items / (NsPerOp / 1e9).
+	ItemsPerSec float64 `json:"items_per_sec"`
+	// Unit names the item: "edges" or "flows".
+	Unit string `json:"unit"`
+}
+
+// HotpathReport is the full machine-readable suite output (BENCH_PR5.json).
+type HotpathReport struct {
+	Schema    string          `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Seed      uint64          `json:"seed"`
+	Results   []HotpathResult `json:"results"`
+}
+
+// hotpathCase is one suite entry: run is a standard benchmark body, items
+// reports how many domain items a single op processed (it may observe state
+// captured by run, so it is called after the measurement).
+type hotpathCase struct {
+	name string
+	unit string
+	run  func(b *testing.B)
+	// items returns the per-op item count after run has executed at least once.
+	items func() int64
+}
+
+// Hotpath runs the hot-path benchmark suite — generator end-to-end, shuffle,
+// flow assembly, replay fan-out — via testing.Benchmark and returns the
+// machine-readable report. Each case self-calibrates its iteration count the
+// way `go test -bench` does, so one run produces stable per-op numbers.
+func Hotpath(seed *core.Seed, rngSeed uint64) (*HotpathReport, error) {
+	const genEdges = 100_000
+
+	// Shared inputs, built once: the suite measures the hot paths, not setup.
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(60, 1500, rngSeed))
+	if err != nil {
+		return nil, fmt.Errorf("bench: synthesizing trace: %w", err)
+	}
+	baseFlows := netflow.Assemble(pkts, 0)
+	if len(baseFlows) == 0 {
+		return nil, fmt.Errorf("bench: seed trace assembled no flows")
+	}
+	fanFlows := TileFlows(baseFlows, 20_000/len(baseFlows)+1)
+
+	const rbkElems, rbkKeys = 200_000, 10_000
+	rbkData := make([]int, rbkElems)
+	s := rngSeed
+	for i := range rbkData {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		rbkData[i] = int(s % rbkKeys)
+	}
+
+	var runErr error
+	var genItems, asmItems, fanItems int64
+
+	cases := []hotpathCase{
+		{
+			name: "pgpba-generate",
+			unit: "edges",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g, err := (&core.PGPBA{Fraction: 0.3, Seed: rngSeed, Cluster: cluster.Local(0)}).Generate(seed, genEdges)
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					genItems = g.NumEdges()
+				}
+			},
+			items: func() int64 { return genItems },
+		},
+		{
+			name: "pgsk-generate",
+			unit: "edges",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g, err := (&core.PGSK{Seed: rngSeed, Cluster: cluster.Local(0)}).Generate(seed, genEdges)
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					genItems = g.NumEdges()
+				}
+			},
+			items: func() int64 { return genItems },
+		},
+		{
+			name: "reduce-by-key",
+			unit: "edges",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c := cluster.Local(4)
+					ds := cluster.Parallelize(c, rbkData, 16)
+					kvs := cluster.MapPartitions(ds, func(_ int, xs []int) []cluster.KV[int, int64] {
+						out := make([]cluster.KV[int, int64], len(xs))
+						for j, k := range xs {
+							out[j] = cluster.KV[int, int64]{Key: k, Val: 1}
+						}
+						return out
+					})
+					red := cluster.ReduceByKey(kvs,
+						func(k int) uint64 {
+							// SplitMix64-style mix so shards spread evenly.
+							z := uint64(k) + 0x9e3779b97f4a7c15
+							z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+							z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+							return z ^ (z >> 31)
+						},
+						func(a, b int64) int64 { return a + b })
+					if n := red.Count(); n != rbkKeys {
+						runErr = fmt.Errorf("bench: reduce-by-key produced %d keys, want %d", n, rbkKeys)
+						b.FailNow()
+					}
+				}
+			},
+			items: func() int64 { return rbkElems },
+		},
+		{
+			name: "flow-assemble",
+			unit: "flows",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					flows := netflow.Assemble(pkts, 0)
+					asmItems = int64(len(flows))
+				}
+			},
+			items: func() int64 { return asmItems },
+		},
+		{
+			name: "replay-fanout-4",
+			unit: "flows",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pts, err := ReplayFanout(fanFlows, []int{4})
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					fanItems = int64(pts[0].Flows) * int64(pts[0].Subscribers)
+				}
+			},
+			items: func() int64 { return fanItems },
+		},
+	}
+
+	rep := &HotpathReport{
+		Schema:    HotpathSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      rngSeed,
+		Results:   make([]HotpathResult, 0, len(cases)),
+	}
+	for _, hc := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			hc.run(b)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("bench: %s: %w", hc.name, runErr)
+		}
+		ns := float64(r.NsPerOp())
+		items := hc.items()
+		res := HotpathResult{
+			Name:        hc.name,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Items:       items,
+			Unit:        hc.unit,
+		}
+		if ns > 0 {
+			res.ItemsPerSec = float64(items) / (ns / 1e9)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"math"
 	"math/rand/v2"
 	"reflect"
 	"sort"
+	"sync"
 )
 
 // Dataset is a partitioned in-memory collection, the RDD substitute. Values
@@ -75,29 +77,36 @@ func partWeights[T any](parts [][]T) []int64 {
 	return w
 }
 
-// Parallelize splits data into partitions distributed over the cluster
-// (partitions <= 0 uses the cluster default). The input slice is not copied;
-// partitions alias its storage.
+// Parallelize splits data into balanced partitions distributed over the
+// cluster (partitions <= 0 uses the cluster default; the count is clamped to
+// len(data), so no partition is ever empty and an empty input yields zero
+// partitions). The input slice is not copied; partitions alias its storage,
+// with their capacities clamped so appending to one partition can never
+// bleed into the next.
+//
+// Sizes differ by at most one element: base = len/p with the remainder
+// spread over the first len%p partitions. The previous ceil-chunk split
+// could strand empty or near-empty tail partitions (e.g. 6 elements over 4
+// partitions became 2/2/2/0), which skewed every downstream stage's task
+// weights and wasted shuffle buckets.
 func Parallelize[T any](c *Cluster, data []T, partitions int) *Dataset[T] {
 	p := c.defaultPartitions(partitions)
-	if p > len(data) && len(data) > 0 {
+	if p > len(data) {
 		p = len(data)
 	}
 	if len(data) == 0 {
 		return newDataset(c, make([][]T, 0))
 	}
 	parts := make([][]T, p)
-	chunk := (len(data) + p - 1) / p
-	for i := 0; i < p; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if lo > len(data) {
-			lo = len(data)
+	base, rem := len(data)/p, len(data)%p
+	lo := 0
+	for i := range parts {
+		n := base
+		if i < rem {
+			n++
 		}
-		if hi > len(data) {
-			hi = len(data)
-		}
-		parts[i] = data[lo:hi]
+		parts[i] = data[lo : lo+n : lo+n]
+		lo += n
 	}
 	return newDataset(c, parts)
 }
@@ -158,12 +167,15 @@ func MapPartitions[T, U any](in *Dataset[T], f func(part int, xs []T) []U) *Data
 	return newDataset(in.c, parts)
 }
 
-// FlatMap applies f to every element and concatenates the results.
+// FlatMap applies f to every element and concatenates the results. The
+// output partition starts at the input's length (expansion factors below 1
+// are rare for flatMap workloads) and grows from there.
 func FlatMap[T, U any](in *Dataset[T], f func(T) []U) *Dataset[U] {
 	parts := make([][]U, len(in.parts))
 	in.c.runStage(inSpec("flatMap", in, parts), len(in.parts), func(i int) {
-		var dst []U
-		for _, v := range in.parts[i] {
+		src := in.parts[i]
+		dst := make([]U, 0, len(src))
+		for _, v := range src {
 			dst = append(dst, f(v)...)
 		}
 		parts[i] = dst
@@ -171,12 +183,15 @@ func FlatMap[T, U any](in *Dataset[T], f func(T) []U) *Dataset[U] {
 	return newDataset(in.c, parts)
 }
 
-// Filter keeps elements satisfying pred.
+// Filter keeps elements satisfying pred. The output partition is pre-sized
+// to the input length — the survivors can never exceed it, and one exact-cap
+// allocation beats a geometric append chain on the hot path.
 func Filter[T any](in *Dataset[T], pred func(T) bool) *Dataset[T] {
 	parts := make([][]T, len(in.parts))
 	in.c.runStage(inSpec("filter", in, parts), len(in.parts), func(i int) {
-		var dst []T
-		for _, v := range in.parts[i] {
+		src := in.parts[i]
+		dst := make([]T, 0, len(src))
+		for _, v := range src {
 			if pred(v) {
 				dst = append(dst, v)
 			}
@@ -196,8 +211,15 @@ func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
 	parts := make([][]T, len(in.parts))
 	in.c.runStage(inSpec("sample", in, parts), len(in.parts), func(i int) {
 		rng := DeriveRNG(seed, uint64(i))
-		var dst []T
-		for _, v := range in.parts[i] {
+		src := in.parts[i]
+		// Pre-size to the expected survivor count (exact for fraction >= 1,
+		// mean + 1 otherwise); the occasional over-draw grows once.
+		want := len(src)
+		if fraction < 1 {
+			want = int(fraction*float64(len(src))) + 1
+		}
+		dst := make([]T, 0, want)
+		for _, v := range src {
 			if fraction >= 1 || rng.Float64() < fraction {
 				dst = append(dst, v)
 			}
@@ -206,6 +228,56 @@ func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
 	})
 	return newDataset(in.c, parts)
 }
+
+// shardScratch is the recyclable per-task scratch of the shuffle operations:
+// the per-survivor destination shard, the per-survivor source index (used by
+// Distinct; ReduceByKey derives placement from its key order instead), and
+// the per-shard survivor counts. Pooling it means a steady-state shuffle
+// task allocates only its dedup map and one flat output block.
+type shardScratch struct {
+	shards []int32 // destination shard per survivor
+	idx    []int32 // source index per survivor (Distinct only)
+	counts []int64 // survivors per shard
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+// getShardScratch returns a scratch with empty survivor slices and p zeroed
+// counts.
+func getShardScratch(p int) *shardScratch {
+	sc := shardScratchPool.Get().(*shardScratch)
+	sc.shards = sc.shards[:0]
+	sc.idx = sc.idx[:0]
+	if cap(sc.counts) < p {
+		sc.counts = make([]int64, p)
+	} else {
+		sc.counts = sc.counts[:p]
+		clear(sc.counts)
+	}
+	return sc
+}
+
+func putShardScratch(sc *shardScratch) { shardScratchPool.Put(sc) }
+
+// bucketize carves one flat, exactly sized allocation into p shard buckets
+// (bucket s pre-sized to counts[s]) and returns them ready for appends. The
+// flat backing replaces the per-shard append chains the shuffles used to
+// grow: one allocation instead of O(p log n).
+func bucketize[T any](counts []int64, total int) [][]T {
+	flat := make([]T, total)
+	bkts := make([][]T, len(counts))
+	off := 0
+	for s, n := range counts {
+		bkts[s] = flat[off : off : off+int(n)]
+		off += int(n)
+	}
+	return bkts
+}
+
+// maxShuffleInts guards the int32 scratch indices: a partition beyond 2^31
+// elements would silently truncate, so refuse it loudly. At 16 bytes per
+// element that is a 32 GiB single partition — repartition long before then.
+const maxShuffleInts = math.MaxInt32
 
 // Distinct removes duplicates under key — RDD.distinct, used by the PGSK
 // edge generation. It is a two-phase parallel hash shuffle, like Spark's:
@@ -220,46 +292,60 @@ func Sample[T any](in *Dataset[T], fraction float64, seed uint64) *Dataset[T] {
 // occurrence order (maps are used only for membership, never iterated), so
 // the result depends only on the input partitioning — never on scheduling
 // or Go's randomized map order. ReduceByKey provides the same guarantee.
+// The golden-digest tests in internal/core and the property tests in this
+// package hold both guarantees in place.
 func Distinct[T any, K comparable](in *Dataset[T], key func(T) K, shard func(K) uint64) *Dataset[T] {
 	p := len(in.parts)
 	if p == 0 {
 		return newDataset(in.c, make([][]T, 0))
 	}
 	// Phase 1: local dedup + bucket split. buckets[i][s] holds partition
-	// i's survivors destined for shard s, in input order.
+	// i's survivors destined for shard s, in input order. Survivors are
+	// first picked out into pooled scratch (shard + source index), then
+	// placed into one flat pre-sized block per task.
 	buckets := make([][][]T, p)
 	in.c.runStage(stageSpec{op: "distinct.local", weights: partWeights(in.parts),
 		bytesIn: bytesOf(in.parts)}, p, func(i int) {
-		seen := make(map[K]struct{}, len(in.parts[i]))
-		out := make([][]T, p)
-		for _, v := range in.parts[i] {
+		src := in.parts[i]
+		if len(src) > maxShuffleInts {
+			panic("cluster: Distinct partition exceeds 2^31 elements; repartition first")
+		}
+		seen := make(map[K]struct{}, len(src))
+		sc := getShardScratch(p)
+		defer putShardScratch(sc)
+		for j, v := range src {
 			k := key(v)
 			if _, dup := seen[k]; dup {
 				continue
 			}
 			seen[k] = struct{}{}
-			s := shard(k) % uint64(p)
-			out[s] = append(out[s], v)
+			s := int32(shard(k) % uint64(p))
+			sc.shards = append(sc.shards, s)
+			sc.idx = append(sc.idx, int32(j))
+			sc.counts[s]++
 		}
-		buckets[i] = out
+		bkts := bucketize[T](sc.counts, len(sc.idx))
+		for n, j := range sc.idx {
+			s := sc.shards[n]
+			bkts[s] = append(bkts[s], src[j])
+		}
+		buckets[i] = bkts
 	})
 	// Shuffle barrier: the driver-side coordination is charged per
 	// partition (Config.ShuffleCoordPerPartition); it is the term that
 	// keeps distinct-heavy pipelines (PGSK) slightly below ideal speedup
 	// as partition counts grow with the cluster.
 	in.c.chargeShuffleCoord(p)
-	shardW := make([]int64, p)
-	for i := 0; i < p; i++ {
-		for s := 0; s < p; s++ {
-			shardW[s] += int64(len(buckets[i][s]))
-		}
-	}
+	shardW := shardWeights(buckets, p)
 	merged := make([][]T, p)
 	in.c.runStage(stageSpec{op: "distinct.merge", weights: shardW,
 		bytesIn:  bytesOf(in.parts),
 		bytesOut: func() int64 { return bytesOf(merged) }}, p, func(s int) {
-		seen := make(map[K]struct{}, 64)
-		var dst []T
+		// shardW[s] bounds this shard's output exactly when there are no
+		// cross-partition duplicates, so the map and output pre-size to it.
+		total := int(shardW[s])
+		seen := make(map[K]struct{}, total)
+		dst := make([]T, 0, total)
 		for i := 0; i < p; i++ {
 			for _, v := range buckets[i][s] {
 				k := key(v)
@@ -273,6 +359,18 @@ func Distinct[T any, K comparable](in *Dataset[T], key func(T) K, shard func(K) 
 		merged[s] = dst
 	})
 	return newDataset(in.c, merged)
+}
+
+// shardWeights sums the per-shard bucket sizes across all source partitions
+// — the merge phase's task weights and pre-size bounds.
+func shardWeights[T any](buckets [][][]T, p int) []int64 {
+	w := make([]int64, p)
+	for i := 0; i < p; i++ {
+		for s := 0; s < p; s++ {
+			w[s] += int64(len(buckets[i][s]))
+		}
+	}
+	return w
 }
 
 // KV is a key-value pair for the shuffle-based aggregations.
@@ -299,13 +397,18 @@ func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint6
 		return newDataset(in.c, make([][]KV[K, V], 0))
 	}
 	// Phase 1: map-side combine + bucket split, emitting each partition's
-	// keys in first-occurrence order.
+	// keys in first-occurrence order into one flat pre-sized block per task
+	// (pooled scratch carries the shard routing, as in Distinct).
 	buckets := make([][][]KV[K, V], p)
 	in.c.runStage(stageSpec{op: "reduceByKey.combine", weights: partWeights(in.parts),
 		bytesIn: bytesOf(in.parts)}, p, func(i int) {
-		local := make(map[K]V, len(in.parts[i]))
-		order := make([]K, 0, len(in.parts[i]))
-		for _, kv := range in.parts[i] {
+		src := in.parts[i]
+		if len(src) > maxShuffleInts {
+			panic("cluster: ReduceByKey partition exceeds 2^31 elements; repartition first")
+		}
+		local := make(map[K]V, len(src))
+		order := make([]K, 0, len(src))
+		for _, kv := range src {
 			if v, ok := local[kv.Key]; ok {
 				local[kv.Key] = combine(v, kv.Val)
 			} else {
@@ -313,27 +416,41 @@ func ReduceByKey[K comparable, V any](in *Dataset[KV[K, V]], shard func(K) uint6
 				order = append(order, kv.Key)
 			}
 		}
-		out := make([][]KV[K, V], p)
+		sc := getShardScratch(p)
+		defer putShardScratch(sc)
 		for _, k := range order {
-			s := shard(k) % uint64(p)
-			out[s] = append(out[s], KV[K, V]{Key: k, Val: local[k]})
+			s := int32(shard(k) % uint64(p))
+			sc.shards = append(sc.shards, s)
+			sc.counts[s]++
 		}
-		buckets[i] = out
+		bkts := bucketize[KV[K, V]](sc.counts, len(order))
+		for n, k := range order {
+			s := sc.shards[n]
+			bkts[s] = append(bkts[s], KV[K, V]{Key: k, Val: local[k]})
+		}
+		buckets[i] = bkts
 	})
 	in.c.chargeShuffleCoord(p)
-	shardW := make([]int64, p)
-	for i := 0; i < p; i++ {
-		for s := 0; s < p; s++ {
-			shardW[s] += int64(len(buckets[i][s]))
-		}
-	}
-	// Phase 2: per-shard reduce, again in first-occurrence order.
+	shardW := shardWeights(buckets, p)
+	// Phase 2: per-shard reduce, again in first-occurrence order, with the
+	// accumulator map and output pre-sized to the shard's incoming volume.
 	merged := make([][]KV[K, V], p)
 	in.c.runStage(stageSpec{op: "reduceByKey.merge", weights: shardW,
 		bytesIn:  bytesOf(in.parts),
 		bytesOut: func() int64 { return bytesOf(merged) }}, p, func(s int) {
-		acc := make(map[K]V, 64)
-		var order []K
+		// Pre-size to the largest single contribution, not the summed
+		// volume: map-side combine already deduped each partition, so when
+		// every partition carries (mostly) the same key set — the common
+		// aggregation shape — the union is close to the max, and sizing to
+		// the sum would overshoot the map p-fold.
+		want := 0
+		for i := 0; i < p; i++ {
+			if n := len(buckets[i][s]); n > want {
+				want = n
+			}
+		}
+		acc := make(map[K]V, want)
+		order := make([]K, 0, want)
 		for i := 0; i < p; i++ {
 			for _, kv := range buckets[i][s] {
 				if v, ok := acc[kv.Key]; ok {

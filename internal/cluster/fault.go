@@ -277,7 +277,9 @@ func newStageRun(c *Cluster, op string, seq uint64, n int, task func(int)) *stag
 }
 
 // run drives the stage to a terminal state: all tasks committed, a task out
-// of retries (stage failure), or the cluster context cancelled.
+// of retries (stage failure), or the cluster context cancelled. Workers come
+// from the process-wide persistent pool (see pool.go) rather than being
+// spawned per stage.
 func (st *stageRun) run() {
 	for i := 0; i < st.n; i++ {
 		st.queue <- taskAttempt{task: i}
@@ -291,9 +293,9 @@ func (st *stageRun) run() {
 		workers = st.n
 	}
 	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
+		sharedPool.submit(func() {
 			defer wg.Done()
 			for {
 				select {
@@ -305,14 +307,14 @@ func (st *stageRun) run() {
 					st.runAttempt(att)
 				}
 			}
-		}()
+		})
 	}
 	if st.c.cfg.Speculation && st.n > 1 {
 		wg.Add(1)
-		go func() {
+		sharedPool.submit(func() {
 			defer wg.Done()
 			st.speculate(ctxDone)
-		}()
+		})
 	}
 	wg.Wait()
 	// Unblock any retry timer that fires after the stage ended (its enqueue

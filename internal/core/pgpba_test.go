@@ -231,7 +231,7 @@ func TestPartitionOffsets(t *testing.T) {
 	c := cluster.Local(2)
 	ds := cluster.Parallelize(c, make([]int, 10), 3)
 	off := partitionOffsets(ds)
-	want := []int64{0, 4, 8} // chunks of ceil(10/3)=4: 4,4,2
+	want := []int64{0, 4, 7} // balanced split of 10 over 3: 4,3,3
 	for i := range want {
 		if off[i] != want[i] {
 			t.Fatalf("offsets = %v, want %v", off, want)

@@ -5,6 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strconv"
+
+	"csb/internal/bufpool"
 )
 
 // Binary graph container format ("CSBG"): a small self-describing format so
@@ -35,7 +38,8 @@ const (
 
 // Write serializes the graph in CSBG format.
 func (g *Graph) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	bw := bufpool.Get(w)
+	defer bufpool.Put(bw)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
@@ -152,18 +156,42 @@ func Read(r io.Reader) (*Graph, error) {
 }
 
 // WriteEdgeList writes a human-readable tab-separated edge list with a header
-// row, one flow edge per line.
+// row, one flow edge per line. Rows are built append-style in a pooled
+// scratch buffer; the bytes match the fmt.Fprintf form this replaced
+// (TestWriteEdgeListMatchesFprintf locks that in).
 func (g *Graph) WriteEdgeList(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := fmt.Fprintln(bw, "src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate"); err != nil {
+	bw := bufpool.Get(w)
+	defer bufpool.Put(bw)
+	if _, err := bw.WriteString("src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate\n"); err != nil {
 		return err
 	}
 	for i := range g.edges {
 		e := &g.edges[i]
-		_, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
-			e.Src, e.Dst, e.Props.Protocol, e.Props.SrcPort, e.Props.DstPort,
-			e.Props.Duration, e.Props.OutBytes, e.Props.InBytes, e.Props.OutPkts, e.Props.InPkts, e.Props.State)
-		if err != nil {
+		b := bw.Scratch[:0]
+		b = strconv.AppendInt(b, int64(e.Src), 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, int64(e.Dst), 10)
+		b = append(b, '\t')
+		b = append(b, e.Props.Protocol.String()...)
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, uint64(e.Props.SrcPort), 10)
+		b = append(b, '\t')
+		b = strconv.AppendUint(b, uint64(e.Props.DstPort), 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Props.Duration, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Props.OutBytes, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Props.InBytes, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Props.OutPkts, 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, e.Props.InPkts, 10)
+		b = append(b, '\t')
+		b = append(b, e.Props.State.String()...)
+		b = append(b, '\n')
+		bw.Scratch = b
+		if _, err := bw.Write(b); err != nil {
 			return err
 		}
 	}

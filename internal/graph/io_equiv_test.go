@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// writeEdgeListReference is the fmt.Fprintf implementation WriteEdgeList
+// replaced; the append-style writer must match it byte for byte.
+func writeEdgeListReference(buf *bytes.Buffer, g *Graph) error {
+	if _, err := fmt.Fprintln(buf, "src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate"); err != nil {
+		return err
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		_, err := fmt.Fprintf(buf, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			e.Src, e.Dst, e.Props.Protocol, e.Props.SrcPort, e.Props.DstPort,
+			e.Props.Duration, e.Props.OutBytes, e.Props.InBytes, e.Props.OutPkts, e.Props.InPkts, e.Props.State)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestWriteEdgeListMatchesFprintf(t *testing.T) {
+	rng := uint64(0x1234_5678_9abc_def1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	g := New(400)
+	for i := 0; i < 800; i++ {
+		g.AddEdge(Edge{
+			Src: VertexID(next() % 400),
+			Dst: VertexID(next() % 400),
+			Props: EdgeProps{
+				Protocol: Protocol(next() % 4),
+				State:    TCPState(next() % 9),
+				SrcPort:  uint16(next()),
+				DstPort:  uint16(next()),
+				Duration: int64(next() % 1e7),
+				OutBytes: int64(next() % 1e9),
+				InBytes:  int64(next() % 1e9),
+				OutPkts:  int64(next() % 1e5),
+				InPkts:   int64(next() % 1e5),
+			},
+		})
+	}
+	// Zero-valued edge exercises the "-"/"unknown" token paths.
+	g.AddEdge(Edge{})
+	var got, want bytes.Buffer
+	if err := g.WriteEdgeList(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEdgeListReference(&want, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("WriteEdgeList output diverged from fmt reference\n got %d bytes\nwant %d bytes", got.Len(), want.Len())
+	}
+}

@@ -1,0 +1,36 @@
+package netflow
+
+import (
+	"io"
+	"testing"
+
+	"csb/internal/graph"
+)
+
+// benchFlows builds a deterministic flow set for writer benchmarks.
+func benchFlows(n int) []Flow {
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{
+			SrcIP: 0x0a000001 + uint32(i%250), DstIP: 0x0a000101 + uint32(i%200),
+			SrcPort: uint16(1024 + i%40000), DstPort: uint16(1 + i%1000),
+			Protocol: graph.ProtoTCP, State: graph.StateSF,
+			StartMicros: int64(i) * 1000, EndMicros: int64(i)*1000 + 500,
+			OutBytes: int64(100 + i%1400), InBytes: int64(40 + i%400),
+			OutPkts: int64(1 + i%10), InPkts: int64(1 + i%8),
+			SYNCount: 1, ACKCount: 2,
+		}
+	}
+	return flows
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	flows := benchFlows(20_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteCSV(io.Discard, flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

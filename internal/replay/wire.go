@@ -34,10 +34,12 @@ package replay
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 
+	"csb/internal/bufpool"
 	"csb/internal/graph"
 	"csb/internal/netflow"
 )
@@ -57,6 +59,19 @@ const (
 	// frameOverhead is the per-frame framing cost: length + seq + crc.
 	frameOverhead = 4 + 8 + 4
 )
+
+// ErrCorruptStream tags every decode failure caused by malformed wire bytes
+// — bad magic, wrong record length, checksum mismatch, sequence regression,
+// implausible counts. Callers distinguish corruption from plain truncation
+// (which surfaces as io.EOF / io.ErrUnexpectedEOF) with errors.Is. The fuzz
+// targets enforce that corrupt input always yields one of these typed errors
+// and never a panic.
+var ErrCorruptStream = errors.New("corrupt stream")
+
+// corruptf builds an ErrCorruptStream-tagged error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("replay: "+format+": %w", append(args, ErrCorruptStream)...)
+}
 
 // Header is the decoded CSBS1 stream header.
 type Header struct {
@@ -82,13 +97,13 @@ func EncodeHeader(h Header) [HeaderLen]byte {
 func DecodeHeader(b []byte) (Header, error) {
 	var h Header
 	if len(b) < HeaderLen {
-		return h, fmt.Errorf("replay: short stream header (%d bytes)", len(b))
+		return h, corruptf("short stream header (%d bytes)", len(b))
 	}
 	if string(b[0:5]) != MagicStream {
-		return h, fmt.Errorf("replay: bad stream magic %q", b[0:5])
+		return h, corruptf("bad stream magic %q", b[0:5])
 	}
 	if rl := binary.BigEndian.Uint16(b[6:8]); rl != FlowRecordLen {
-		return h, fmt.Errorf("replay: record length %d, want %d", rl, FlowRecordLen)
+		return h, corruptf("record length %d, want %d", rl, FlowRecordLen)
 	}
 	copy(h.ArtifactSHA[:], b[8:40])
 	h.Flows = binary.BigEndian.Uint64(b[40:48])
@@ -120,7 +135,7 @@ func EncodeFlow(f *netflow.Flow) [FlowRecordLen]byte {
 func DecodeFlow(b []byte) (netflow.Flow, error) {
 	var f netflow.Flow
 	if len(b) < FlowRecordLen {
-		return f, fmt.Errorf("replay: short flow record (%d bytes)", len(b))
+		return f, corruptf("short flow record (%d bytes)", len(b))
 	}
 	f.SrcIP = binary.BigEndian.Uint32(b[0:4])
 	f.DstIP = binary.BigEndian.Uint32(b[4:8])
@@ -158,10 +173,11 @@ func WriteFlowFile(w io.Writer, flows []netflow.Flow) error {
 	copy(hdr[0:5], MagicFlowFile)
 	binary.BigEndian.PutUint16(hdr[6:8], FlowRecordLen)
 	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(flows)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	bw := bufpool.Get(w)
+	defer bufpool.Put(bw)
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
 	for i := range flows {
 		rec := EncodeFlow(&flows[i])
 		if _, err := bw.Write(rec[:]); err != nil {
@@ -179,16 +195,19 @@ func ReadFlowFile(r io.Reader) ([]netflow.Flow, error) {
 		return nil, fmt.Errorf("replay: flow-file header: %w", err)
 	}
 	if string(hdr[0:5]) != MagicFlowFile {
-		return nil, fmt.Errorf("replay: bad flow-file magic %q", hdr[0:5])
+		return nil, corruptf("bad flow-file magic %q", hdr[0:5])
 	}
 	if rl := binary.BigEndian.Uint16(hdr[6:8]); rl != FlowRecordLen {
-		return nil, fmt.Errorf("replay: flow-file record length %d, want %d", rl, FlowRecordLen)
+		return nil, corruptf("flow-file record length %d, want %d", rl, FlowRecordLen)
 	}
 	count := binary.BigEndian.Uint64(hdr[8:16])
 	if count > 1<<40 {
-		return nil, fmt.Errorf("replay: implausible flow count %d", count)
+		return nil, corruptf("implausible flow count %d", count)
 	}
-	flows := make([]netflow.Flow, 0, count)
+	// Never pre-allocate from the untrusted header count alone: a corrupt
+	// 16-byte header claiming 2^40 flows must not demand terabytes up front.
+	const maxPrealloc = 1 << 20
+	flows := make([]netflow.Flow, 0, min(count, maxPrealloc))
 	var rec [FlowRecordLen]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -316,16 +335,16 @@ func (sr *StreamReader) Next() (Frame, error) {
 			return Frame{}, fmt.Errorf("replay: end frame: %w", err)
 		}
 		if got := binary.BigEndian.Uint32(sum[:]); got != sr.crc {
-			return Frame{}, fmt.Errorf("replay: final checksum %08x, want %08x", got, sr.crc)
+			return Frame{}, corruptf("final checksum %08x, want %08x", got, sr.crc)
 		}
 		if seq != sr.Received {
-			return Frame{}, fmt.Errorf("replay: end frame claims %d flows, received %d", seq, sr.Received)
+			return Frame{}, corruptf("end frame claims %d flows, received %d", seq, sr.Received)
 		}
 		sr.done = true
 		return Frame{Seq: seq, End: true}, nil
 	}
 	if length != FlowRecordLen {
-		return Frame{}, fmt.Errorf("replay: frame length %d, want %d", length, FlowRecordLen)
+		return Frame{}, corruptf("frame length %d, want %d", length, FlowRecordLen)
 	}
 	if _, err := io.ReadFull(sr.br, sr.buf[:]); err != nil {
 		return Frame{}, fmt.Errorf("replay: frame payload: %w", err)
@@ -336,11 +355,11 @@ func (sr *StreamReader) Next() (Frame, error) {
 		return Frame{}, fmt.Errorf("replay: frame checksum: %w", err)
 	}
 	if got := binary.BigEndian.Uint32(sum[:]); got != sr.crc {
-		return Frame{}, fmt.Errorf("replay: rolling checksum %08x at seq %d, want %08x", got, seq, sr.crc)
+		return Frame{}, corruptf("rolling checksum %08x at seq %d, want %08x", got, seq, sr.crc)
 	}
 	if sr.started {
 		if seq < sr.nextSeq {
-			return Frame{}, fmt.Errorf("replay: sequence %d went backwards (expected >= %d)", seq, sr.nextSeq)
+			return Frame{}, corruptf("sequence %d went backwards (expected >= %d)", seq, sr.nextSeq)
 		}
 		sr.Gaps += seq - sr.nextSeq
 	} else {

@@ -6,6 +6,7 @@
 //
 //	csbgen -seed-graph seed.csbg -gen pgpba -edges 1000000 -fraction 0.1 -out syn.csbg
 //	csbgen -hosts 100 -sessions 2000 -gen pgsk -edges 500000 -out syn.csbg
+//	csbgen -scenario spec.json -scenario-out labeled.csbf
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"csb"
 	"csb/internal/core"
+	"csb/internal/scenario"
 	"csb/internal/serve"
 )
 
@@ -55,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		specExec  = fs.Bool("speculation", false, "duplicate straggler tasks in the engine")
 		faultRate = fs.Float64("fault-rate", 0, "injected engine fault rate for chaos runs (0 disables)")
 		faultSeed = fs.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
+		scenIn    = fs.String("scenario", "", "labeled-scenario spec (JSON); compiles to a CSBF1+CSBL1 labeled artifact")
+		scenOut   = fs.String("scenario-out", "", "output path of the labeled artifact (required with -scenario)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +77,37 @@ func run(args []string, stdout io.Writer) error {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+
+	if *scenIn != "" {
+		// Scenario mode shares the chaos/topology flags: a generator
+		// background runs on the same optional cluster a plain generation
+		// would, so -fault-rate exercises the fault model on labeled
+		// artifacts too — without changing their bytes.
+		var faults *csb.FaultPlan
+		if *faultRate > 0 {
+			faults = csb.NewFaultPlan(*faultSeed, *faultRate)
+		}
+		var c *csb.Cluster
+		if *nodes > 1 || *cores > 0 || faults != nil || *specExec || *taskRetry != 0 {
+			coresPerNode := *cores
+			if coresPerNode == 0 {
+				if *nodes > 1 {
+					coresPerNode = 4
+				} else {
+					coresPerNode = runtime.GOMAXPROCS(0)
+				}
+			}
+			var err error
+			c, err = csb.NewCluster(csb.ClusterConfig{
+				Nodes: *nodes, CoresPerNode: coresPerNode,
+				MaxTaskRetries: *taskRetry, Speculation: *specExec, Faults: faults,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return runScenario(*scenIn, *scenOut, c, stdout)
 	}
 
 	// Synthetic-seed runs flow through the shared job-spec parser, so the CLI
@@ -253,6 +288,51 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runScenario compiles a scenario spec into its labeled artifact, printing
+// the same content address a csbd scenario job would cache it under.
+func runScenario(specPath, outPath string, c *csb.Cluster, stdout io.Writer) error {
+	if outPath == "" {
+		return fmt.Errorf("-scenario requires -scenario-out")
+	}
+	f, err := os.Open(specPath)
+	if err != nil {
+		return err
+	}
+	sp, err := scenario.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sc, err := scenario.Compile(sp, c)
+	if err != nil {
+		return err
+	}
+	attackFlows := 0
+	for _, a := range sc.FlowAttack {
+		if a >= 0 {
+			attackFlows++
+		}
+	}
+	fmt.Fprintf(stdout, "scenario: %d flows (%d background, %d attack), %d labels in %v\n",
+		len(sc.Flows), len(sc.Flows)-attackFlows, attackFlows, len(sc.Labels),
+		time.Since(start).Round(time.Millisecond))
+	if err := writeTo(outPath, func(w io.Writer) error {
+		return scenario.WriteLabeled(w, sc)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote labeled artifact to %s\n", outPath)
+	// The daemon folds the scenario address into a job spec; print the same
+	// identity so CLI outputs and csbd cache entries line up.
+	job := serve.Spec{Scenario: sp}
+	if err := job.Normalize(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "artifact csbf: %s\n", job.ID())
 	return nil
 }
 

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csb/internal/scenario"
+	"csb/internal/serve"
+)
+
+const testScenarioJSON = `{
+  "seed": 9,
+  "background": {"source": "trace", "hosts": 15, "sessions": 150},
+  "attacks": [
+    {"type": "host-scan", "start_ms": 1000, "count": 1200},
+    {"type": "syn-flood", "start_ms": 8000, "count": 1500}
+  ]
+}`
+
+func writeScenarioSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(testScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunScenarioWritesLabeledArtifact checks `csbgen -scenario` writes the
+// labeled artifact byte-identically to the library compile and prints the
+// same content address a csbd scenario job would cache it under.
+func TestRunScenarioWritesLabeledArtifact(t *testing.T) {
+	specPath := writeScenarioSpec(t)
+	outPath := filepath.Join(t.TempDir(), "labeled.csbf")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", specPath, "-scenario-out", outPath}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scenario: ") || !strings.Contains(out.String(), "2 labels") {
+		t.Fatalf("missing scenario summary in:\n%s", out.String())
+	}
+
+	sp, err := scenario.Parse(strings.NewReader(testScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Compile(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.EncodeLabeled(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CLI artifact differs from library compile (%d vs %d bytes)", len(got), len(want))
+	}
+
+	job := serve.Spec{Scenario: sp}
+	if err := job.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "artifact csbf: "+job.ID()) {
+		t.Fatalf("printed address is not the daemon job address %s:\n%s", job.ID(), out.String())
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	specPath := writeScenarioSpec(t)
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", specPath}, &out); err == nil {
+		t.Error("missing -scenario-out accepted")
+	}
+	if err := run([]string{"-scenario", "/nonexistent.json", "-scenario-out", filepath.Join(dir, "a.csbf")}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"attacks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", bad, "-scenario-out", filepath.Join(dir, "b.csbf")}, &out); err == nil {
+		t.Error("spec with no attacks accepted")
+	}
+}

@@ -12,6 +12,8 @@
 //	csbreplay -follow j1 -daemon http://localhost:8080 -addr :9000
 //	csbreplay -consume localhost:9000 -ids -window-sec 60
 //	csbreplay -flows flows.csv -flows-out flows.csbf
+//	csbreplay -scenario spec.json -flows-out labeled.csbf -addr :9000
+//	csbreplay -consume localhost:9000 -ids -labels labeled.csbf
 package main
 
 import (
@@ -29,10 +31,12 @@ import (
 	"strings"
 	"time"
 
+	"csb/internal/attack"
 	"csb/internal/graph"
 	"csb/internal/ids"
 	"csb/internal/netflow"
 	"csb/internal/replay"
+	"csb/internal/scenario"
 	"csb/internal/serve"
 )
 
@@ -53,6 +57,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		flowsIn    = fs.String("flows", "", "flow CSV to replay")
 		graphIn    = fs.String("graph", "", "property graph (CSBG) whose flow projection replays")
 		artifactIn = fs.String("artifact", "", "CSBF flow artifact to replay")
+		scenIn     = fs.String("scenario", "", "labeled-scenario spec (JSON) to compile and replay")
 		follow     = fs.String("follow", "", "csbd job id to follow and replay")
 		daemon     = fs.String("daemon", "http://localhost:8080", "csbd base URL for -follow")
 		addr       = fs.String("addr", "", "listen address for serving the stream")
@@ -69,26 +74,32 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		windowSec  = fs.Int64("window-sec", 60, "streaming-detector window length in seconds")
 		horizonSec = fs.Int64("horizon-sec", 0, "streaming-detector reorder horizon in seconds")
 		rawOut     = fs.String("raw-out", "", "write consumed frame payloads to this file (byte-identity checks)")
+		labelsIn   = fs.String("labels", "", "labeled artifact (CSBF1+CSBL1) holding the consumed stream's ground truth; with -ids, alerts are scored against it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *consume != "" {
-		return consumeStream(*consume, *runIDS, *windowSec, *horizonSec, *rawOut, stdout)
+		if *labelsIn != "" && !*runIDS {
+			return fmt.Errorf("-labels requires -ids (there are no alerts to score otherwise)")
+		}
+		return consumeStream(*consume, *runIDS, *windowSec, *horizonSec, *rawOut, *labelsIn, stdout)
 	}
 
 	policy, err := replay.ParseLagPolicy(*policyStr)
 	if err != nil {
 		return err
 	}
-	flows, sha, err := loadFlows(*flowsIn, *graphIn, *artifactIn, *follow, *daemon)
+	flows, sha, labeled, err := loadFlows(*flowsIn, *graphIn, *artifactIn, *scenIn, *follow, *daemon)
 	if err != nil {
 		return err
 	}
 	// The replay contract wants non-decreasing start times; projections from
 	// generated graphs are timeline-free (all zero) and assembled CSVs are
-	// already sorted, but inputs from other tools may not be.
+	// already sorted, but inputs from other tools may not be. Compiled
+	// scenarios arrive in the canonical Finish order, which the stable sort
+	// preserves.
 	sort.SliceStable(flows, func(i, j int) bool { return flows[i].StartMicros < flows[j].StartMicros })
 	fmt.Fprintf(stdout, "loaded %d flows\n", len(flows))
 
@@ -97,7 +108,15 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		if err != nil {
 			return err
 		}
-		if err := replay.WriteFlowFile(f, flows); err != nil {
+		// Scenario sources write the full labeled artifact (flow section +
+		// label section), byte-identical to `csbgen -scenario` and a csbd
+		// scenario job on the same spec; other sources write a plain CSBF1.
+		if labeled != nil {
+			err = scenario.WriteLabeled(f, labeled)
+		} else {
+			err = replay.WriteFlowFile(f, flows)
+		}
+		if err != nil {
 			f.Close()
 			return err
 		}
@@ -160,20 +179,48 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 }
 
 // loadFlows resolves the one dataset source the flags name, returning the
-// flows plus the SHA-256 stamped into the stream header.
-func loadFlows(flowsIn, graphIn, artifactIn, follow, daemon string) ([]netflow.Flow, [32]byte, error) {
+// flows plus the SHA-256 stamped into the stream header. Scenario sources
+// additionally return the labeled scenario so -flows-out can persist the
+// ground truth.
+func loadFlows(flowsIn, graphIn, artifactIn, scenIn, follow, daemon string) ([]netflow.Flow, [32]byte, *attack.Scenario, error) {
 	var sha [32]byte
 	sources := 0
-	for _, s := range []string{flowsIn, graphIn, artifactIn, follow} {
+	for _, s := range []string{flowsIn, graphIn, artifactIn, scenIn, follow} {
 		if s != "" {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, sha, fmt.Errorf("exactly one of -flows, -graph, -artifact or -follow is required")
+		return nil, sha, nil, fmt.Errorf("exactly one of -flows, -graph, -artifact, -scenario or -follow is required")
 	}
 	if follow != "" {
-		return followJob(daemon, follow)
+		flows, sha, err := followJob(daemon, follow)
+		return flows, sha, nil, err
+	}
+	if scenIn != "" {
+		f, err := os.Open(scenIn)
+		if err != nil {
+			return nil, sha, nil, err
+		}
+		sp, err := scenario.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, sha, nil, err
+		}
+		sc, err := scenario.Compile(sp, nil)
+		if err != nil {
+			return nil, sha, nil, err
+		}
+		// Stamp the same content address a csbd scenario job would use, so
+		// subscribers can tie the stream back to the cached artifact.
+		job := serve.Spec{Scenario: sp}
+		if err := job.Normalize(); err != nil {
+			return nil, sha, nil, err
+		}
+		if sum, err := hex.DecodeString(job.ID()); err == nil && len(sum) == 32 {
+			copy(sha[:], sum)
+		}
+		return sc.Flows, sha, sc, nil
 	}
 	var path string
 	switch {
@@ -186,7 +233,7 @@ func loadFlows(flowsIn, graphIn, artifactIn, follow, daemon string) ([]netflow.F
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, sha, err
+		return nil, sha, nil, err
 	}
 	sha = sha256.Sum256(data)
 	var flows []netflow.Flow
@@ -201,11 +248,11 @@ func loadFlows(flowsIn, graphIn, artifactIn, follow, daemon string) ([]netflow.F
 	default:
 		flows, err = replay.ReadFlowFile(bytes.NewReader(data))
 	}
-	return flows, sha, err
+	return flows, sha, nil, err
 }
 
 // followJob polls a csbd job to completion, fetches its artifact and decodes
-// the flows (csv or csbg formats; others are not replayable).
+// the flows (csv, csbg or csbf formats; others are not replayable).
 func followJob(daemon, jobID string) ([]netflow.Flow, [32]byte, error) {
 	var sha [32]byte
 	base := strings.TrimSuffix(daemon, "/")
@@ -260,16 +307,35 @@ func followJob(daemon, jobID string) ([]netflow.Flow, [32]byte, error) {
 		if g, err = graph.Read(bytes.NewReader(data)); err == nil {
 			flows = netflow.FlowsFromGraph(g)
 		}
+	case serve.FormatCSBF:
+		// Labeled scenario artifact: the flow section replays; the trailing
+		// label section is for -consume -labels scoring, not the stream.
+		flows, err = replay.ReadFlowFile(bytes.NewReader(data))
 	default:
-		return nil, sha, fmt.Errorf("artifact format %q is not replayable (want csv or csbg)", st.Spec.Format)
+		return nil, sha, fmt.Errorf("artifact format %q is not replayable (want csv, csbg or csbf)", st.Spec.Format)
 	}
 	return flows, sha, err
 }
 
 // consumeStream subscribes to a CSBS1 stream, optionally running the
 // streaming detector over the delivered flows and/or mirroring the raw
-// payload bytes to a file.
-func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut string, stdout io.Writer) error {
+// payload bytes to a file. With labelsPath set, the detector's alerts are
+// scored against the labeled artifact's ground truth and the
+// precision/recall/F1 of the run is printed — the stream-side half of the
+// detection-quality benchmark.
+func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut, labelsPath string, stdout io.Writer) error {
+	// Load the ground truth before dialing: a bad labels file should fail
+	// fast, not after the stream has been consumed.
+	var truth *attack.Scenario
+	if labelsPath != "" {
+		data, err := os.ReadFile(labelsPath)
+		if err != nil {
+			return err
+		}
+		if truth, err = scenario.DecodeLabeled(data); err != nil {
+			return err
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -284,10 +350,10 @@ func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut
 		defer raw.Close()
 	}
 	var det *ids.StreamDetector
-	var alerts int
+	var alerts []ids.Alert
 	if runIDS {
 		det = ids.NewStreamDetector(ids.DefaultThresholds(), windowSec*1e6, func(a ids.Alert) {
-			alerts++
+			alerts = append(alerts, a)
 			fmt.Fprintf(stdout, "[alert] %s\n", a)
 		})
 		if horizonSec > 0 {
@@ -312,7 +378,13 @@ func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut
 	fmt.Fprintf(stdout, "consumed %d/%d flows (gaps=%d clean=%v)\n",
 		st.Received, st.Header.Flows, st.Gaps, st.Clean)
 	if det != nil {
-		fmt.Fprintf(stdout, "ids: %d alerts, %d late flows\n", alerts, det.LateFlows())
+		fmt.Fprintf(stdout, "ids: %d alerts, %d late flows\n", len(alerts), det.LateFlows())
+	}
+	if truth != nil {
+		o := truth.Score(alerts)
+		fmt.Fprintf(stdout, "score: precision=%.3f recall=%.3f f1=%.3f (tp=%d fn=%d fp=%d, %d labels)\n",
+			o.Precision(), o.Recall(), o.F1(),
+			o.TruePositives, o.FalseNegatives, o.FalsePositives, len(truth.Labels))
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csb/internal/scenario"
+)
+
+const testScenarioJSON = `{
+  "seed": 9,
+  "background": {"source": "trace", "hosts": 15, "sessions": 150},
+  "attacks": [
+    {"type": "host-scan", "start_ms": 1000, "count": 1200},
+    {"type": "syn-flood", "start_ms": 65000, "count": 1500, "victim": 167772165}
+  ]
+}`
+
+func writeScenarioSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(testScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioFlowsOut checks `csbreplay -scenario -flows-out` persists the
+// labeled artifact byte-identically to the library compile (and therefore to
+// `csbgen -scenario` on the same spec).
+func TestScenarioFlowsOut(t *testing.T) {
+	specPath := writeScenarioSpec(t)
+	outPath := filepath.Join(t.TempDir(), "labeled.csbf")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", specPath, "-flows-out", outPath}, &out, nil, nil); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	sp, err := scenario.Parse(strings.NewReader(testScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Compile(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.EncodeLabeled(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("persisted artifact differs from library compile (%d vs %d bytes)", len(got), len(want))
+	}
+	// The ground truth survives the file round trip.
+	back, err := scenario.DecodeLabeled(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Labels) != 2 || len(back.FlowAttack) != len(back.Flows) {
+		t.Fatalf("round trip ground truth: %d labels, %d/%d tags", len(back.Labels), len(back.FlowAttack), len(back.Flows))
+	}
+}
+
+// TestScenarioServeConsumeScored is the CLI detection-quality loop: serve a
+// compiled scenario, consume it with the streaming detector and the labeled
+// artifact as ground truth, and expect a precision/recall/F1 score line.
+func TestScenarioServeConsumeScored(t *testing.T) {
+	specPath := writeScenarioSpec(t)
+	labeled := filepath.Join(t.TempDir(), "labeled.csbf")
+	var prep bytes.Buffer
+	if err := run([]string{"-scenario", specPath, "-flows-out", labeled}, &prep, nil, nil); err != nil {
+		t.Fatalf("compiling labeled artifact: %v", err)
+	}
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	serveErr := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		serveErr <- run([]string{"-scenario", specPath, "-addr", "127.0.0.1:0", "-wait", "1"}, &out, ready, stop)
+	}()
+	addr := <-ready
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-consume", addr, "-ids", "-window-sec", "60", "-labels", labeled,
+	}, &out, nil, nil)
+	if err != nil {
+		t.Fatalf("consume: %v\n%s", err, out.String())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "clean=true") {
+		t.Fatalf("stream not clean:\n%s", s)
+	}
+	if !strings.Contains(s, "score: precision=") || !strings.Contains(s, "2 labels)") {
+		t.Fatalf("no score line for the 2 ground-truth labels in:\n%s", s)
+	}
+	// Both injected attacks are blatant; the detector must find them.
+	if !strings.Contains(s, "fn=0") {
+		t.Fatalf("detector missed a ground-truth attack:\n%s", s)
+	}
+}
+
+func TestLabelsRequireIDS(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-consume", "127.0.0.1:1", "-labels", "nope.csbf"}, &out, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-ids") {
+		t.Fatalf("-labels without -ids accepted (err=%v)", err)
+	}
+}

@@ -8,6 +8,7 @@ package attack
 
 import (
 	"math/rand/v2"
+	"sort"
 
 	"csb/internal/graph"
 	"csb/internal/ids"
@@ -21,16 +22,75 @@ type Label struct {
 	Victim   uint32 // zero for network scans (many victims)
 }
 
+// BackgroundFlow marks a flow that belongs to no attack in
+// Scenario.FlowAttack.
+const BackgroundFlow = int32(-1)
+
 // Scenario is a traffic mix: background flows plus injected attacks with
-// their labels.
+// their labels. FlowAttack carries the per-flow ground truth: FlowAttack[i]
+// is the index into Labels of the attack flow i belongs to, or
+// BackgroundFlow (-1) for background traffic. It stays index-aligned with
+// Flows through injection and through Finish's canonical re-sort, which is
+// what lets labels survive serialization (internal/scenario's CSBL1 section)
+// and replay.
 type Scenario struct {
-	Flows  []netflow.Flow
-	Labels []Label
+	Flows      []netflow.Flow
+	Labels     []Label
+	FlowAttack []int32
 }
 
 // NewScenario starts a scenario from background traffic.
 func NewScenario(background []netflow.Flow) *Scenario {
-	return &Scenario{Flows: append([]netflow.Flow(nil), background...)}
+	s := &Scenario{Flows: append([]netflow.Flow(nil), background...)}
+	s.pad()
+	return s
+}
+
+// pad extends FlowAttack with BackgroundFlow up to len(Flows), so scenarios
+// constructed by hand (pre-FlowAttack callers) keep working.
+func (s *Scenario) pad() {
+	for len(s.FlowAttack) < len(s.Flows) {
+		s.FlowAttack = append(s.FlowAttack, BackgroundFlow)
+	}
+}
+
+// label appends l to Labels and tags every flow from index `from` on as
+// belonging to it. Injectors call it after appending their flows.
+func (s *Scenario) label(l Label, from int) {
+	s.pad()
+	idx := int32(len(s.Labels))
+	s.Labels = append(s.Labels, l)
+	for i := from; i < len(s.FlowAttack); i++ {
+		s.FlowAttack[i] = idx
+	}
+}
+
+// Finish sorts the mixed timeline into the canonical flow order — the same
+// StartMicros + stable 5-tuple ordering Assembler.Finish emits — keeping
+// FlowAttack aligned with Flows through the permutation. The injectors
+// append attack flows after the background, so without Finish a mixed
+// scenario is not in start-time order and a replay pacer or the
+// StreamDetector's reorder horizon rejects the out-of-order attack flows as
+// *LateFlowError, silently deflating recall. Call once after the last
+// injection; it is idempotent.
+func (s *Scenario) Finish() {
+	s.pad()
+	idx := make([]int, len(s.Flows))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable on the original index so fully-identical records (possible in
+	// floods) keep one deterministic order.
+	sort.SliceStable(idx, func(i, j int) bool {
+		return netflow.FlowLess(&s.Flows[idx[i]], &s.Flows[idx[j]])
+	})
+	flows := make([]netflow.Flow, len(s.Flows))
+	fa := make([]int32, len(s.Flows))
+	for i, j := range idx {
+		flows[i] = s.Flows[j]
+		fa[i] = s.FlowAttack[j]
+	}
+	s.Flows, s.FlowAttack = flows, fa
 }
 
 // probeFlow builds one small scan probe: a 40-byte SYN answered by nothing
@@ -53,27 +113,38 @@ func probeFlow(rng *rand.Rand, attacker, victim uint32, port uint16, ts int64) n
 	return f
 }
 
+// MaxScanPorts is the largest host-scan width: every TCP port once.
+const MaxScanPorts = 65535
+
 // InjectHostScan adds a vertical port scan: attacker probes nPorts distinct
-// ports of victim.
+// ports of victim. nPorts is clamped to MaxScanPorts — ports are derived as
+// 1..nPorts, and a wider scan would wrap uint16 into duplicate probes of the
+// same ports plus the reserved port 0.
 func (s *Scenario) InjectHostScan(rng *rand.Rand, attacker, victim uint32, nPorts int, startMicros int64) {
+	if nPorts > MaxScanPorts {
+		nPorts = MaxScanPorts
+	}
+	from := len(s.Flows)
 	for i := 0; i < nPorts; i++ {
 		s.Flows = append(s.Flows, probeFlow(rng, attacker, victim, uint16(i+1), startMicros+int64(i)*1000))
 	}
-	s.Labels = append(s.Labels, Label{Type: ids.AttackHostScan, Attacker: attacker, Victim: victim})
+	s.label(Label{Type: ids.AttackHostScan, Attacker: attacker, Victim: victim}, from)
 }
 
 // InjectNetworkScan adds a horizontal scan: attacker probes one port across
 // nHosts victims (victims get addresses base+1 .. base+nHosts).
 func (s *Scenario) InjectNetworkScan(rng *rand.Rand, attacker uint32, victimBase uint32, nHosts int, port uint16, startMicros int64) {
+	from := len(s.Flows)
 	for i := 0; i < nHosts; i++ {
 		s.Flows = append(s.Flows, probeFlow(rng, attacker, victimBase+uint32(i+1), port, startMicros+int64(i)*1000))
 	}
-	s.Labels = append(s.Labels, Label{Type: ids.AttackNetworkScan, Attacker: attacker})
+	s.label(Label{Type: ids.AttackNetworkScan, Attacker: attacker}, from)
 }
 
 // InjectSYNFlood adds a TCP SYN flood: nFlows unanswered SYN flows from
 // spoofed sources against one port of the victim.
 func (s *Scenario) InjectSYNFlood(rng *rand.Rand, victim uint32, port uint16, nFlows int, startMicros int64) {
+	from := len(s.Flows)
 	for i := 0; i < nFlows; i++ {
 		src := 0xc0000000 | rng.Uint32()&0x00ffffff // spoofed 192.x pool
 		f := netflow.Flow{
@@ -87,12 +158,13 @@ func (s *Scenario) InjectSYNFlood(rng *rand.Rand, victim uint32, port uint16, nF
 		}
 		s.Flows = append(s.Flows, f)
 	}
-	s.Labels = append(s.Labels, Label{Type: ids.AttackSYNFlood, Victim: victim})
+	s.label(Label{Type: ids.AttackSYNFlood, Victim: victim}, from)
 }
 
 // InjectFlood adds a bandwidth flood (UDP by default): nFlows bulky flows
 // from one attacker to the victim.
 func (s *Scenario) InjectFlood(rng *rand.Rand, attacker, victim uint32, proto graph.Protocol, nFlows int, startMicros int64) {
+	from := len(s.Flows)
 	for i := 0; i < nFlows; i++ {
 		bytes := int64(500_000 + rng.Int64N(1_000_000))
 		pkts := bytes / 1000
@@ -109,12 +181,13 @@ func (s *Scenario) InjectFlood(rng *rand.Rand, attacker, victim uint32, proto gr
 		}
 		s.Flows = append(s.Flows, f)
 	}
-	s.Labels = append(s.Labels, Label{Type: ids.AttackFlood, Attacker: attacker, Victim: victim})
+	s.label(Label{Type: ids.AttackFlood, Attacker: attacker, Victim: victim}, from)
 }
 
 // InjectDDoS adds a distributed flood: nSources attackers each send bulky
 // flows at the victim.
 func (s *Scenario) InjectDDoS(rng *rand.Rand, victim uint32, nSources, flowsPerSource int, startMicros int64) {
+	from := len(s.Flows)
 	for src := 0; src < nSources; src++ {
 		attacker := 0xd0000000 | uint32(src+1)
 		for i := 0; i < flowsPerSource; i++ {
@@ -128,7 +201,7 @@ func (s *Scenario) InjectDDoS(rng *rand.Rand, victim uint32, nSources, flowsPerS
 			})
 		}
 	}
-	s.Labels = append(s.Labels, Label{Type: ids.AttackDDoS, Victim: victim})
+	s.label(Label{Type: ids.AttackDDoS, Victim: victim}, from)
 }
 
 // Outcome scores a detection run against the scenario's ground truth.

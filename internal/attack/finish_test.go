@@ -1,0 +1,152 @@
+package attack
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"csb/internal/graph"
+	"csb/internal/ids"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+// flowLabel pairs a flow with its ground-truth attack index for multiset
+// comparison across the Finish permutation (Flow is comparable).
+type flowLabel struct {
+	f netflow.Flow
+	a int32
+}
+
+func TestFinishSortsCanonicallyAndKeepsLabelsAligned(t *testing.T) {
+	s := fullScenario(t, 11)
+	if len(s.FlowAttack) != len(s.Flows) {
+		t.Fatalf("FlowAttack len %d != Flows len %d", len(s.FlowAttack), len(s.Flows))
+	}
+	before := map[flowLabel]int{}
+	for i := range s.Flows {
+		before[flowLabel{s.Flows[i], s.FlowAttack[i]}]++
+	}
+	// The injectors append after the background, so the pre-Finish timeline
+	// must actually be out of order for this test to prove anything.
+	sorted := true
+	for i := 1; i < len(s.Flows); i++ {
+		if netflow.FlowLess(&s.Flows[i], &s.Flows[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Fatal("pre-Finish scenario already sorted; regression test is vacuous")
+	}
+
+	s.Finish()
+
+	for i := 1; i < len(s.Flows); i++ {
+		if netflow.FlowLess(&s.Flows[i], &s.Flows[i-1]) {
+			t.Fatalf("flows %d and %d out of canonical order after Finish", i-1, i)
+		}
+	}
+	after := map[flowLabel]int{}
+	for i := range s.Flows {
+		after[flowLabel{s.Flows[i], s.FlowAttack[i]}]++
+	}
+	if len(after) != len(before) {
+		t.Fatalf("flow/label multiset changed: %d distinct pairs, want %d", len(after), len(before))
+	}
+	for k, n := range before {
+		if after[k] != n {
+			t.Fatalf("flow/label pair %+v count %d, want %d", k, after[k], n)
+		}
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	s := fullScenario(t, 12)
+	s.Finish()
+	flows := append([]netflow.Flow(nil), s.Flows...)
+	fa := append([]int32(nil), s.FlowAttack...)
+	s.Finish()
+	for i := range flows {
+		if flows[i] != s.Flows[i] || fa[i] != s.FlowAttack[i] {
+			t.Fatalf("second Finish changed flow %d", i)
+		}
+	}
+}
+
+// TestMixedScenarioStreamsThroughReorderHorizon is the regression test for
+// the injector ordering bug: a finished mixed scenario must stream through
+// the StreamDetector's reorder horizon with zero LateFlowError drops, while
+// the unfinished (append-ordered) timeline demonstrably does not.
+func TestMixedScenarioStreamsThroughReorderHorizon(t *testing.T) {
+	lateAfterStreaming := func(s *Scenario, horizonMicros int64) int64 {
+		det := ids.NewStreamDetector(ids.DefaultThresholds(), 60*1e6, func(ids.Alert) {})
+		det.SetReorderHorizon(horizonMicros)
+		for _, f := range s.Flows {
+			det.Add(f)
+		}
+		det.Flush()
+		return det.LateFlows()
+	}
+
+	// Unfixed order: attack flows appended after a 10-minute background are
+	// minutes out of order — far past a 5-second horizon.
+	unsorted := fullScenario(t, 13)
+	if late := lateAfterStreaming(unsorted, 5*1e6); late == 0 {
+		t.Fatal("append-ordered scenario produced no late flows; regression test is vacuous")
+	}
+
+	finished := fullScenario(t, 13)
+	finished.Finish()
+	if late := lateAfterStreaming(finished, 5*1e6); late != 0 {
+		t.Fatalf("finished scenario dropped %d flows as late, want 0", late)
+	}
+	// And with no horizon at all: canonical order is non-decreasing, so the
+	// strict in-order contract holds too.
+	finished2 := fullScenario(t, 13)
+	finished2.Finish()
+	if late := lateAfterStreaming(finished2, 0); late != 0 {
+		t.Fatalf("finished scenario dropped %d flows with no horizon, want 0", late)
+	}
+}
+
+func TestInjectHostScanClampsPortWidth(t *testing.T) {
+	s := NewScenario(nil)
+	rng := rand.New(rand.NewPCG(4, 4))
+	s.InjectHostScan(rng, 1, 2, 70_000, 0)
+	if len(s.Flows) != MaxScanPorts {
+		t.Fatalf("flows = %d, want clamp to %d", len(s.Flows), MaxScanPorts)
+	}
+	ports := map[uint16]bool{}
+	for _, f := range s.Flows {
+		if f.DstPort == 0 {
+			t.Fatal("scan probed reserved port 0 (uint16 wrap)")
+		}
+		ports[f.DstPort] = true
+	}
+	if len(ports) != MaxScanPorts {
+		t.Fatalf("distinct ports = %d, want %d (duplicates mean uint16 wrap)", len(ports), MaxScanPorts)
+	}
+}
+
+func TestInjectorsTagFlowAttack(t *testing.T) {
+	bg := background(t, 21)
+	s := NewScenario(bg)
+	for i, a := range s.FlowAttack {
+		if a != BackgroundFlow {
+			t.Fatalf("background flow %d tagged %d", i, a)
+		}
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	s.InjectHostScan(rng, 0xbad00001, pcap.HostIP(1), 30, 0)
+	s.InjectFlood(rng, 0xbad00002, pcap.HostIP(2), graph.ProtoUDP, 5, 0)
+	if len(s.FlowAttack) != len(s.Flows) {
+		t.Fatalf("FlowAttack len %d != Flows len %d", len(s.FlowAttack), len(s.Flows))
+	}
+	counts := map[int32]int{}
+	for _, a := range s.FlowAttack {
+		counts[a]++
+	}
+	if counts[0] != 30 || counts[1] != 5 || counts[BackgroundFlow] != len(bg) {
+		t.Fatalf("per-label flow counts = %v", counts)
+	}
+}

@@ -32,15 +32,21 @@ type HotpathResult struct {
 	Unit string `json:"unit"`
 }
 
-// HotpathReport is the full machine-readable suite output (BENCH_PR5.json).
+// HotpathReport is the full machine-readable suite output (BENCH_PR6.json).
+// NumCPU records the machine's core count and GOMAXPROCS the parallelism the
+// suite actually ran at — they differ under taskset/cgroup limits or an
+// explicit GOMAXPROCS, and comparing reports recorded at different
+// parallelism is how single-core baselines (BENCH_PR5 was num_cpu=1) stop
+// hiding parallel speedups.
 type HotpathReport struct {
-	Schema    string          `json:"schema"`
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	NumCPU    int             `json:"num_cpu"`
-	Seed      uint64          `json:"seed"`
-	Results   []HotpathResult `json:"results"`
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Seed       uint64          `json:"seed"`
+	Results    []HotpathResult `json:"results"`
 }
 
 // hotpathCase is one suite entry: run is a standard benchmark body, items
@@ -176,13 +182,14 @@ func Hotpath(seed *core.Seed, rngSeed uint64) (*HotpathReport, error) {
 	}
 
 	rep := &HotpathReport{
-		Schema:    HotpathSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      rngSeed,
-		Results:   make([]HotpathResult, 0, len(cases)),
+		Schema:     HotpathSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       rngSeed,
+		Results:    make([]HotpathResult, 0, len(cases)),
 	}
 	for _, hc := range cases {
 		r := testing.Benchmark(func(b *testing.B) {

@@ -220,14 +220,17 @@ func (a *Assembler) Finish() []Flow {
 	// earlier than the previous one ended must not suppress idle sweeps (or,
 	// with a stale high-water mark, trip one on the very first packet).
 	a.lastSweep = 0
-	sort.Slice(out, func(i, j int) bool { return flowLess(&out[i], &out[j]) })
+	sort.Slice(out, func(i, j int) bool { return FlowLess(&out[i], &out[j]) })
 	return out
 }
 
-// flowLess orders flows by StartMicros, then by the 5-tuple (src, dst,
+// FlowLess orders flows by StartMicros, then by the 5-tuple (src, dst,
 // ports, protocol) and EndMicros so equal-start flows have one canonical
-// order independent of map iteration.
-func flowLess(a, b *Flow) bool {
+// order independent of map iteration. It is exported because this ordering
+// is the repo-wide canonical flow order: attack.Scenario.Finish sorts mixed
+// scenarios with it so injected flows interleave with background exactly the
+// way Assembler.Finish would have emitted them.
+func FlowLess(a, b *Flow) bool {
 	switch {
 	case a.StartMicros != b.StartMicros:
 		return a.StartMicros < b.StartMicros

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"csb/internal/attack"
+	"csb/internal/cluster"
+	"csb/internal/core"
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+)
+
+// TimelineBase anchors every scenario timeline: attack start_ms offsets are
+// relative to it, and generator backgrounds (which project timeline-free
+// flows) synthesize their start times from it. It equals the synthetic
+// trace's capture date (pcap.DefaultTraceConfig.StartMicros), so trace
+// backgrounds and attack offsets share one clock.
+const TimelineBase = int64(1318204800 * 1e6)
+
+// Compile builds the labeled flow set a normalized spec describes:
+// background flows from the selected source, each attack injected on its
+// own RNG stream derived from (spec seed, attack seed), and a final
+// canonical re-sort (Scenario.Finish) so the mixed timeline is in the exact
+// order Assembler.Finish would emit. Generator backgrounds run on c (nil
+// means a default local cluster), so a chaos-configured cluster exercises
+// the fault model without changing the output — same spec + seed ⇒ the
+// same labeled flows, bit for bit, on any cluster shape.
+func Compile(sp *Spec, c *cluster.Cluster) (*attack.Scenario, error) {
+	bg, err := background(sp, c)
+	if err != nil {
+		return nil, err
+	}
+	sc := attack.NewScenario(bg)
+	for i := range sp.Attacks {
+		a := &sp.Attacks[i]
+		rng := rand.New(rand.NewPCG(sp.Seed, a.Seed))
+		ts := TimelineBase + a.StartMS*1000
+		switch a.Type {
+		case TypeHostScan:
+			sc.InjectHostScan(rng, a.Attacker, a.Victim, a.Count, ts)
+		case TypeNetworkScan:
+			sc.InjectNetworkScan(rng, a.Attacker, a.Victim, a.Count, a.Port, ts)
+		case TypeSYNFlood:
+			sc.InjectSYNFlood(rng, a.Victim, a.Port, a.Count, ts)
+		case TypeFlood:
+			proto, err := floodProto(a.Proto)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: attack %d: %w", i, err)
+			}
+			sc.InjectFlood(rng, a.Attacker, a.Victim, proto, a.Count, ts)
+		case TypeDDoS:
+			sc.InjectDDoS(rng, a.Victim, a.Count, a.FlowsPerSource, ts)
+		default:
+			return nil, fmt.Errorf("scenario: attack %d: unknown type %q (spec not normalized?)", i, a.Type)
+		}
+	}
+	sc.Finish()
+	return sc, nil
+}
+
+// background builds the benign flow set of the spec's background source.
+func background(sp *Spec, c *cluster.Cluster) ([]netflow.Flow, error) {
+	b := &sp.Background
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(b.Hosts, b.Sessions, sp.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: synthesizing trace: %w", err)
+	}
+	flows := netflow.Assemble(pkts, 0)
+	if b.Source == SourceTrace {
+		return flows, nil
+	}
+
+	// Generator background: the trace becomes the seed graph, generation
+	// runs on the cluster (fault model and all), and the projected flows get
+	// a synthetic timeline — FlowsFromGraph emits StartMicros 0 for every
+	// flow, which the replay pacer and windowed detector cannot use.
+	seed, err := core.Analyze(netflow.BuildGraph(flows))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: analyzing seed: %w", err)
+	}
+	var gen core.Generator
+	switch b.Source {
+	case SourcePGSK:
+		gen = &core.PGSK{Seed: sp.Seed, Cluster: c}
+	default:
+		gen = &core.PGPBA{Fraction: b.Fraction, Seed: sp.Seed, Cluster: c}
+	}
+	g, err := gen.Generate(seed, b.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generating background: %w", err)
+	}
+	out := netflow.FlowsFromGraph(g)
+	for i := range out {
+		duration := out[i].EndMicros // pre-timeline EndMicros is the duration
+		if duration <= 0 {
+			duration = 1000
+		}
+		out[i].StartMicros = TimelineBase + int64(i)*b.GapMicros
+		out[i].EndMicros = out[i].StartMicros + duration
+	}
+	return out, nil
+}

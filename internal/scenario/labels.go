@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"csb/internal/attack"
+	"csb/internal/ids"
+	"csb/internal/replay"
+)
+
+// The labeled artifact is a CSBF1 flow section followed immediately by a
+// CSBL1 label section. CSBF1 readers (replay.ReadFlowFile, csbreplay
+// -artifact) read exactly the counted flow records and ignore the trailing
+// label bytes, so a labeled artifact is also a valid plain flow artifact;
+// label-aware readers slice past the flow section and decode the ground
+// truth. The CSBS1 stream property is preserved too: a gap-free
+// subscriber's concatenated payloads reproduce the artifact's flow section
+// byte for byte, and the sidecar re-attaches labels by flow index.
+//
+//	label section:
+//	  header (24 bytes):
+//	    [0:5]   magic "CSBL1"
+//	    [5]     flags (0)
+//	    [6:8]   label record length, uint16 BE (LabelRecordLen)
+//	    [8:16]  label count, uint64 BE
+//	    [16:24] flow count, uint64 BE
+//	  label records (LabelRecordLen bytes each):
+//	    [0]     attack type (ids.AttackType)
+//	    [1:4]   reserved (0)
+//	    [4:8]   attacker IP, uint32 BE (0 = none/many)
+//	    [8:12]  victim IP, uint32 BE (0 = none/many)
+//	  flow-attack map (4 bytes per flow):
+//	    uint32 BE label index, or 0xffffffff for background
+const (
+	// MagicLabels opens a CSBL1 label section.
+	MagicLabels = "CSBL1"
+	// LabelHeaderLen is the CSBL1 header length.
+	LabelHeaderLen = 24
+	// LabelRecordLen is the fixed encoded size of one label record.
+	LabelRecordLen = 12
+	// backgroundIndex is the on-wire FlowAttack sentinel for background.
+	backgroundIndex = uint32(0xffffffff)
+)
+
+// ErrCorruptLabels tags every label-section decode failure caused by
+// malformed bytes — bad magic, wrong record length, implausible counts,
+// unknown attack types, out-of-range indices. Plain truncation surfaces as
+// io.EOF / io.ErrUnexpectedEOF instead, mirroring the CSBF1/CSBS1 contract
+// the fuzz targets enforce.
+var ErrCorruptLabels = errors.New("corrupt label section")
+
+// corruptf builds an ErrCorruptLabels-tagged error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("scenario: "+format+": %w", append(args, ErrCorruptLabels)...)
+}
+
+// WriteLabels appends the CSBL1 label section for sc. The scenario's
+// FlowAttack must be index-aligned with Flows (NewScenario and the
+// injectors maintain this; hand-built scenarios shorter than Flows are
+// padded as background).
+func WriteLabels(w io.Writer, sc *attack.Scenario) error {
+	var hdr [LabelHeaderLen]byte
+	copy(hdr[0:5], MagicLabels)
+	binary.BigEndian.PutUint16(hdr[6:8], LabelRecordLen)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(sc.Labels)))
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(len(sc.Flows)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [LabelRecordLen]byte
+	for _, l := range sc.Labels {
+		rec[0] = uint8(l.Type)
+		binary.BigEndian.PutUint32(rec[4:8], l.Attacker)
+		binary.BigEndian.PutUint32(rec[8:12], l.Victim)
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, 4*len(sc.Flows))
+	for i := range sc.Flows {
+		idx := backgroundIndex
+		if i < len(sc.FlowAttack) && sc.FlowAttack[i] >= 0 {
+			idx = uint32(sc.FlowAttack[i])
+		}
+		buf = binary.BigEndian.AppendUint32(buf, idx)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadLabels parses a CSBL1 label section: the labels plus the per-flow
+// attack map (attack.BackgroundFlow for background flows).
+func ReadLabels(r io.Reader) ([]attack.Label, []int32, error) {
+	var hdr [LabelHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("scenario: label header: %w", err)
+	}
+	if string(hdr[0:5]) != MagicLabels {
+		return nil, nil, corruptf("bad label magic %q", hdr[0:5])
+	}
+	if rl := binary.BigEndian.Uint16(hdr[6:8]); rl != LabelRecordLen {
+		return nil, nil, corruptf("label record length %d, want %d", rl, LabelRecordLen)
+	}
+	labelCount := binary.BigEndian.Uint64(hdr[8:16])
+	flowCount := binary.BigEndian.Uint64(hdr[16:24])
+	// A label marks one whole attack, so counts beyond the flow count (and
+	// flow counts beyond CSBF1's own plausibility bound) are corrupt.
+	if flowCount > 1<<40 {
+		return nil, nil, corruptf("implausible flow count %d", flowCount)
+	}
+	if labelCount > flowCount {
+		return nil, nil, corruptf("label count %d exceeds flow count %d", labelCount, flowCount)
+	}
+	// Same guard as ReadFlowFile: never pre-allocate from untrusted counts.
+	const maxPrealloc = 1 << 20
+	labels := make([]attack.Label, 0, min(labelCount, maxPrealloc))
+	var rec [LabelRecordLen]byte
+	for i := uint64(0); i < labelCount; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, nil, fmt.Errorf("scenario: label record %d: %w", i, err)
+		}
+		typ := ids.AttackType(rec[0])
+		if typ == ids.AttackNone || typ > ids.AttackDDoS {
+			return nil, nil, corruptf("label %d has unknown attack type %d", i, rec[0])
+		}
+		labels = append(labels, attack.Label{
+			Type:     typ,
+			Attacker: binary.BigEndian.Uint32(rec[4:8]),
+			Victim:   binary.BigEndian.Uint32(rec[8:12]),
+		})
+	}
+	fa := make([]int32, 0, min(flowCount, maxPrealloc))
+	var ib [4]byte
+	for i := uint64(0); i < flowCount; i++ {
+		if _, err := io.ReadFull(r, ib[:]); err != nil {
+			return nil, nil, fmt.Errorf("scenario: flow-attack entry %d: %w", i, err)
+		}
+		idx := binary.BigEndian.Uint32(ib[:])
+		if idx == backgroundIndex {
+			fa = append(fa, attack.BackgroundFlow)
+			continue
+		}
+		if uint64(idx) >= labelCount {
+			return nil, nil, corruptf("flow %d references label %d of %d", i, idx, labelCount)
+		}
+		fa = append(fa, int32(idx))
+	}
+	return labels, fa, nil
+}
+
+// WriteLabeled writes the combined labeled artifact: the CSBF1 flow section
+// followed by the CSBL1 label section.
+func WriteLabeled(w io.Writer, sc *attack.Scenario) error {
+	if err := replay.WriteFlowFile(w, sc.Flows); err != nil {
+		return err
+	}
+	return WriteLabels(w, sc)
+}
+
+// EncodeLabeled returns the combined labeled artifact as bytes.
+func EncodeLabeled(sc *attack.Scenario) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, sc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeLabeled parses a combined labeled artifact back into a scenario,
+// cross-checking that the label section counts match the flow section.
+func DecodeLabeled(data []byte) (*attack.Scenario, error) {
+	flows, err := replay.ReadFlowFile(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	// ReadFlowFile's buffered reader over-consumes, so re-slice the label
+	// section at its computed offset instead of continuing the same reader.
+	off := replay.FlowFileHeaderLen + len(flows)*replay.FlowRecordLen
+	labels, fa, err := ReadLabels(bytes.NewReader(data[off:]))
+	if err != nil {
+		return nil, err
+	}
+	if len(fa) != len(flows) {
+		return nil, corruptf("label section covers %d flows, artifact has %d", len(fa), len(flows))
+	}
+	return &attack.Scenario{Flows: flows, Labels: labels, FlowAttack: fa}, nil
+}

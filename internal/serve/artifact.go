@@ -12,6 +12,7 @@ import (
 	"csb/internal/graph"
 	"csb/internal/netflow"
 	"csb/internal/pcap"
+	"csb/internal/scenario"
 )
 
 // EngineShape fixes the virtual-cluster topology artifacts are generated on.
@@ -69,6 +70,19 @@ func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer) (*
 // returns the encoded artifact bytes. The bytes are a pure function of
 // (spec, engine shape); ctx cancellation aborts between engine stages.
 func BuildArtifact(ctx context.Context, spec Spec, c *cluster.Cluster) ([]byte, error) {
+	if spec.Generator == GenScenario {
+		// Scenario jobs reuse the same per-job cluster (cancellation, fault
+		// plan, tracer), so csbd's retry and chaos semantics apply to labeled
+		// artifacts unchanged.
+		sc, err := scenario.Compile(spec.Scenario, c)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return scenario.EncodeLabeled(sc)
+	}
 	seed, err := buildSeed(spec)
 	if err != nil {
 		return nil, err

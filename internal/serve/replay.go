@@ -343,8 +343,10 @@ func (s *Server) artifactFormat(artifact string) string {
 }
 
 // decodeReplayFlows turns artifact bytes into the flow set a replay run
-// emits. Only csv (flow records) and csbg (graph whose flow projection is
-// replayed) are flow-shaped; other formats have no decoder and are rejected.
+// emits. csv (flow records), csbg (graph whose flow projection is replayed)
+// and csbf (labeled flow artifact; the flow section replays and subscribers
+// re-attach labels from the spec) are flow-shaped; other formats have no
+// decoder and are rejected.
 func decodeReplayFlows(data []byte, format string) ([]netflow.Flow, error) {
 	switch format {
 	case FormatCSV:
@@ -355,9 +357,15 @@ func decodeReplayFlows(data []byte, format string) ([]netflow.Flow, error) {
 			return nil, err
 		}
 		return netflow.FlowsFromGraph(g), nil
+	case FormatCSBF:
+		// ReadFlowFile stops after the counted records, so the CSBL1 label
+		// section trailing a labeled artifact is ignored here — the stream
+		// carries exactly the flow section, preserving the byte-identity
+		// contract between stream payloads and the artifact's flow bytes.
+		return replay.ReadFlowFile(bytes.NewReader(data))
 	default:
-		return nil, fmt.Errorf("artifact format %q is not replayable (want %s or %s)",
-			format, FormatCSV, FormatCSBG)
+		return nil, fmt.Errorf("artifact format %q is not replayable (want %s, %s or %s)",
+			format, FormatCSV, FormatCSBG, FormatCSBF)
 	}
 }
 

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"csb/internal/netflow"
+	"csb/internal/replay"
+	"csb/internal/scenario"
+)
+
+// tinyScenario is a scenario small enough for unit tests. The trace
+// background makes the compiled bytes independent of the job's cluster
+// shape, so tests can compare against a local Compile with no cluster.
+func tinyScenario() *scenario.Spec {
+	return &scenario.Spec{
+		Seed: 9,
+		Background: scenario.Background{
+			Source: scenario.SourceTrace, Hosts: 15, Sessions: 150,
+		},
+		Attacks: []scenario.Attack{
+			{Type: scenario.TypeHostScan, StartMS: 1_000, Count: 120},
+			{Type: scenario.TypeSYNFlood, StartMS: 5_000, Count: 200},
+		},
+	}
+}
+
+func TestSpecNormalizeScenario(t *testing.T) {
+	s := Spec{
+		// Flat knobs set alongside the scenario: all normalized away.
+		Hosts: 40, Sessions: 700, Seed: 3, Fraction: 0.5, Edges: 9000,
+		Scenario: tinyScenario(),
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generator != GenScenario || s.Format != FormatCSBF {
+		t.Fatalf("normalized kind = %q/%q, want %s/%s", s.Generator, s.Format, GenScenario, FormatCSBF)
+	}
+	if s.Hosts != 0 || s.Sessions != 0 || s.Seed != 0 || s.Fraction != 0 || s.Edges != 0 {
+		t.Fatalf("flat knobs survived scenario normalization: %+v", s)
+	}
+	// The embedded spec was normalized too (defaults applied in place).
+	if s.Scenario.Attacks[0].Attacker == 0 {
+		t.Fatal("embedded scenario not normalized")
+	}
+
+	// Identity follows the scenario's own content address: a flat-knob
+	// variant collapses onto the same ID, a scenario mutation splits it.
+	variant := Spec{Edges: 12345, Scenario: tinyScenario()}
+	if err := variant.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if variant.ID() != s.ID() {
+		t.Fatal("flat knobs differentiated scenario artifact identities")
+	}
+	mutated := Spec{Scenario: tinyScenario()}
+	mutated.Scenario.Seed = 10
+	if err := mutated.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if mutated.ID() == s.ID() {
+		t.Fatal("scenario seed change did not change the artifact identity")
+	}
+
+	// Scenario jobs are csbf-only; the kind without a spec is invalid.
+	bad := Spec{Scenario: tinyScenario(), Format: FormatTSV}
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("tsv scenario job accepted (err=%v)", err)
+	}
+	orphan := Spec{Generator: GenScenario, Edges: 100}
+	if err := orphan.Normalize(); err == nil || !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("scenario generator without a spec accepted (err=%v)", err)
+	}
+	invalid := Spec{Scenario: &scenario.Spec{}}
+	if err := invalid.Normalize(); err == nil {
+		t.Fatal("scenario with no attacks accepted")
+	}
+}
+
+// TestScenarioJobLifecycle runs a scenario job through the daemon end to
+// end: submit, poll, fetch — and checks the artifact is byte-identical to a
+// local compile of the same spec, that the label section survived the
+// content-addressed store, and that a repeat submit is a cache hit.
+func TestScenarioJobLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	submit := Spec{Scenario: tinyScenario()}
+	resp, st := postJob(t, ts, submit)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	final := pollDone(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state = %q (%s)", final.State, final.Error)
+	}
+	got := fetchArtifact(t, ts, st.ID)
+
+	want, err := scenario.Compile(mustScenario(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := scenario.EncodeLabeled(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatal("daemon scenario artifact differs from a local compile of the same spec")
+	}
+
+	// The labels decode straight out of the fetched artifact.
+	sc, err := scenario.DecodeLabeled(got)
+	if err != nil {
+		t.Fatalf("decoding fetched artifact: %v", err)
+	}
+	if len(sc.Labels) != 2 || len(sc.FlowAttack) != len(sc.Flows) {
+		t.Fatalf("fetched artifact ground truth: %d labels, %d/%d flow tags",
+			len(sc.Labels), len(sc.FlowAttack), len(sc.Flows))
+	}
+
+	// Identical scenario spec → cache hit, same artifact.
+	respWarm, warm := postJob(t, ts, Spec{Scenario: tinyScenario()})
+	if respWarm.StatusCode != http.StatusOK || !warm.CacheHit || warm.ArtifactID != final.ArtifactID {
+		t.Fatalf("warm scenario submit = %d %+v, want cache hit on %s",
+			respWarm.StatusCode, warm, final.ArtifactID)
+	}
+	if m := s.Metrics(); m.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", m.CacheHits)
+	}
+}
+
+// mustScenario returns tinyScenario normalized, as the daemon job sees it.
+func mustScenario(t *testing.T) *scenario.Spec {
+	t.Helper()
+	sp := tinyScenario()
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestScenarioAdmissionCap checks MaxEdges admission applies to the
+// scenario's background edge target, not the (zeroed) flat knob.
+func TestScenarioAdmissionCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxEdges: 400})
+	sp := tinyScenario()
+	sp.Background = scenario.Background{Source: scenario.SourcePGPBA, Hosts: 15, Sessions: 150, Edges: 4000}
+	resp, _ := postJob(t, ts, Spec{Scenario: sp})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap scenario background accepted with %d", resp.StatusCode)
+	}
+	// A trace background requests no generated edges and is admitted.
+	resp2, st := postJob(t, ts, Spec{Scenario: tinyScenario()})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("trace scenario shed with %d", resp2.StatusCode)
+	}
+	if final := pollDone(t, ts, st.ID); final.State != StateDone {
+		t.Fatalf("trace scenario job = %q (%s)", final.State, final.Error)
+	}
+}
+
+// TestReplayScenarioArtifact replays a labeled csbf artifact through the
+// daemon's replay endpoint: the stream must deliver exactly the artifact's
+// flow section (labels are artifact-side ground truth, not wire frames).
+func TestReplayScenarioArtifact(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := postJob(t, ts, Spec{Scenario: tinyScenario()})
+	final := pollDone(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("scenario job = %q (%s)", final.State, final.Error)
+	}
+	artifact := fetchArtifact(t, ts, st.ID)
+	sc, err := scenario.DecodeLabeled(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, rs := startReplayHTTP(t, ts, ReplayRequest{
+		ArtifactID: final.ArtifactID, WaitSubscribers: 1, WaitMS: 30_000,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /replay: status %d", resp.StatusCode)
+	}
+	if rs.Flows != len(sc.Flows) {
+		t.Fatalf("session flows = %d, want %d", rs.Flows, len(sc.Flows))
+	}
+	conn, err := net.Dial("tcp", rs.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var payload bytes.Buffer
+	cs, err := replay.Consume(conn, func(_ uint64, _ netflow.Flow, raw []byte) error {
+		payload.Write(raw)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Clean || cs.Gaps != 0 {
+		t.Fatalf("stream not clean: %+v", cs)
+	}
+	if hex.EncodeToString(cs.Header.ArtifactSHA[:]) != final.ArtifactID {
+		t.Fatal("stream header does not carry the labeled artifact's content address")
+	}
+	section := artifact[replay.FlowFileHeaderLen : replay.FlowFileHeaderLen+len(sc.Flows)*replay.FlowRecordLen]
+	if !bytes.Equal(payload.Bytes(), section) {
+		t.Fatal("replayed payload differs from the artifact flow section")
+	}
+}

@@ -345,10 +345,16 @@ func (s *Server) Submit(spec *Spec) (JobStatus, error) {
 	if err := spec.Normalize(); err != nil {
 		return JobStatus{}, &submitErr{code: http.StatusBadRequest, msg: err.Error()}
 	}
-	if spec.Edges > s.cfg.MaxEdges {
+	// Scenario jobs keep their size in the embedded background spec; the
+	// admission cap applies to whichever edge target the job would generate.
+	edges := spec.Edges
+	if spec.Scenario != nil {
+		edges = spec.Scenario.Background.Edges
+	}
+	if edges > s.cfg.MaxEdges {
 		return JobStatus{}, &submitErr{
 			code: http.StatusBadRequest,
-			msg:  fmt.Sprintf("edges %d exceeds the admission cap %d", spec.Edges, s.cfg.MaxEdges),
+			msg:  fmt.Sprintf("edges %d exceeds the admission cap %d", edges, s.cfg.MaxEdges),
 		}
 	}
 	s.submitted.Add(1)

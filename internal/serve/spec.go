@@ -19,12 +19,17 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"csb/internal/scenario"
 )
 
 // Generator names accepted by Spec.Generator.
 const (
 	GenPGPBA = "pgpba"
 	GenPGSK  = "pgsk"
+	// GenScenario is the labeled attack-scenario job kind: the spec embeds a
+	// scenario.Spec and the artifact is a CSBF1+CSBL1 labeled flow set.
+	GenScenario = "scenario"
 )
 
 // Artifact output formats accepted by Spec.Format.
@@ -39,6 +44,10 @@ const (
 	FormatCSV = "csv"
 	// FormatNDJSON is one JSON object per flow edge, newline-delimited.
 	FormatNDJSON = "ndjson"
+	// FormatCSBF is the binary labeled flow artifact of scenario jobs: a
+	// CSBF1 flow section followed by a CSBL1 label section — byte-identical
+	// to `csbgen -scenario`. Scenario jobs only.
+	FormatCSBF = "csbf"
 )
 
 // Spec is the canonical description of one generation job. It is the wire
@@ -57,8 +66,14 @@ type Spec struct {
 	Fraction float64 `json:"fraction,omitempty"`
 	// Edges is the desired edge count of the synthetic graph.
 	Edges int64 `json:"edges"`
-	// Format selects the artifact encoding: tsv, csbg, csv or ndjson.
+	// Format selects the artifact encoding: tsv, csbg, csv or ndjson
+	// (csbf for scenario jobs).
 	Format string `json:"format,omitempty"`
+	// Scenario, when set, makes this a scenario job: the artifact is the
+	// labeled flow set the embedded spec compiles to. The flat generator
+	// knobs above are normalized away — a scenario job's identity is the
+	// scenario's own content address.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 }
 
 // Defaults applied by Normalize to zero-valued fields.
@@ -74,13 +89,34 @@ const (
 // fail fast with an error instead of silently producing empty output. The
 // normalized spec is what Spec.ID hashes.
 func (s *Spec) Normalize() error {
+	if s.Scenario != nil {
+		s.Generator = GenScenario
+	}
+	if s.Generator == GenScenario {
+		if s.Scenario == nil {
+			return fmt.Errorf("spec: generator %q requires an embedded scenario", GenScenario)
+		}
+		if err := s.Scenario.Normalize(); err != nil {
+			return err
+		}
+		// The embedded scenario fully describes the job; the flat knobs must
+		// not differentiate artifact identities.
+		s.Hosts, s.Sessions, s.Seed, s.Fraction, s.Edges = 0, 0, 0, 0, 0
+		if s.Format == "" {
+			s.Format = FormatCSBF
+		}
+		if s.Format != FormatCSBF {
+			return fmt.Errorf("spec: scenario jobs produce %s artifacts, got format %q", FormatCSBF, s.Format)
+		}
+		return nil
+	}
 	if s.Generator == "" {
 		s.Generator = GenPGPBA
 	}
 	switch s.Generator {
 	case GenPGPBA, GenPGSK:
 	default:
-		return fmt.Errorf("spec: unknown generator %q (want %s or %s)", s.Generator, GenPGPBA, GenPGSK)
+		return fmt.Errorf("spec: unknown generator %q (want %s, %s or %s)", s.Generator, GenPGPBA, GenPGSK, GenScenario)
 	}
 	if s.Hosts == 0 {
 		s.Hosts = DefaultHosts
@@ -137,6 +173,11 @@ func (s Spec) ID() string {
 	b.WriteString("fraction=" + strconv.FormatFloat(s.Fraction, 'x', -1, 64) + "\n")
 	b.WriteString("edges=" + strconv.FormatInt(s.Edges, 10) + "\n")
 	b.WriteString("format=" + s.Format + "\n")
+	if s.Scenario != nil {
+		// Folding the scenario's own content address in keeps the flat-spec
+		// preimage unchanged for every pre-existing job kind.
+		b.WriteString("scenario=" + s.Scenario.ID() + "\n")
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -144,7 +185,7 @@ func (s Spec) ID() string {
 // ContentType returns the HTTP content type of the spec's artifact format.
 func (s Spec) ContentType() string {
 	switch s.Format {
-	case FormatCSBG:
+	case FormatCSBG, FormatCSBF:
 		return "application/octet-stream"
 	case FormatCSV:
 		return "text/csv; charset=utf-8"

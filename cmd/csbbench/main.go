@@ -52,7 +52,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		jsonMode  = flag.Bool("json", false, "run the hot-path benchmark suite and write a machine-readable JSON report")
-		jsonOut   = flag.String("json-out", "BENCH_PR6.json", "output path for the -json benchmark report")
+		jsonOut   = flag.String("json-out", "BENCH_PR7.json", "output path for the -json benchmark report")
 	)
 	flag.Parse()
 
@@ -102,6 +102,7 @@ func main() {
 		"fourvs":    func() { fourVs(seed, *synEdges, *rngSeed) },
 		"chaos":     func() { chaos(seed, *synEdges, *rngSeed) },
 		"replay":    func() { replayExp(*hosts, *sessions, *rngSeed) },
+		"dist":      func() { distExp(*synEdges, *rngSeed) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1", "baselines", "workload", "extended", "fourvs"} {
@@ -126,6 +127,33 @@ func hotpathJSON(seed *core.Seed, rngSeed uint64, out string) {
 	rep, err := bench.Hotpath(seed, rngSeed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Distributed sweep: one fixed-seed generation job at 1/2/4 local
+	// workers, digest-checked against in-process, folded into the report
+	// with the worker count next to num_cpu/gomaxprocs.
+	workerCounts := []int{1, 2, 4}
+	distRows, err := bench.DistSweep(200_000, workerCounts, rngSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.WorkerCounts = workerCounts
+	for _, d := range distRows {
+		if !d.DigestMatch {
+			log.Fatalf("dist sweep at %d workers diverged from the in-process artifact", d.Workers)
+		}
+		name := "dist-build-inproc"
+		if d.Workers > 0 {
+			name = fmt.Sprintf("dist-build-w%d", d.Workers)
+		}
+		rep.Results = append(rep.Results, bench.HotpathResult{
+			Name:        name,
+			Iterations:  1,
+			NsPerOp:     d.WallSeconds * 1e9,
+			Items:       d.Edges,
+			ItemsPerSec: d.EdgesPerSec,
+			Unit:        "edges",
+			Workers:     d.Workers,
+		})
 	}
 	fmt.Println("# Hot-path benchmark suite")
 	fmt.Println("name\tns_per_op\tB_per_op\tallocs_per_op\titems_per_sec\tunit")
@@ -480,6 +508,25 @@ func replayExp(hosts, sessions int, rngSeed uint64) {
 	for _, p := range sp {
 		fmt.Printf("%s\t%d\t%d\t%d\t%.0f\t%d\t%d\n",
 			p.Policy, p.Healthy, p.Flows, p.HealthyMin, p.FlowsPerSec, p.Dropped, p.Disconnected)
+	}
+}
+
+// distExp sweeps one fixed-seed PGSK generation job over local worker
+// counts, reporting wall time and throughput, and verifying every artifact
+// digest against the in-process run.
+func distExp(edges int64, rngSeed uint64) {
+	fmt.Println("# Distributed execution: one generation job at 0/1/2/4 local workers (0 = in-process)")
+	fmt.Println("workers\twall_ms\tedges_per_sec\tremote_tasks\tdigest_match")
+	rows, err := bench.DistSweep(edges, []int{1, 2, 4}, rngSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range rows {
+		fmt.Printf("%d\t%.1f\t%.0f\t%d\t%v\n",
+			d.Workers, d.WallSeconds*1000, d.EdgesPerSec, d.RemoteTasks, d.DigestMatch)
+		if !d.DigestMatch {
+			log.Fatalf("dist sweep at %d workers diverged from the in-process artifact", d.Workers)
+		}
 	}
 }
 

@@ -13,6 +13,14 @@
 //	curl localhost:8080/v1/jobs/j1
 //	curl localhost:8080/v1/jobs/j1/artifact -o syn.tsv
 //	curl -X DELETE localhost:8080/v1/jobs/j1
+//
+// Distributed operation (-role): a coordinator additionally listens for
+// worker processes on -dist-addr and ships remotable engine stages to them;
+// workers join with -join and execute tasks. Artifact bytes are identical to
+// standalone operation on the same engine shape — see DESIGN.md.
+//
+//	csbd -role coordinator -addr :8080 -dist-addr :9444 -min-workers 2
+//	csbd -role worker -join localhost:9444 -name w1
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"csb/internal/cluster"
+	"csb/internal/dist"
 	"csb/internal/serve"
 )
 
@@ -62,9 +71,21 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		faultRate  = fs.Float64("fault-rate", 0, "injected engine fault rate for chaos runs (0 disables)")
 		faultSeed  = fs.Uint64("fault-seed", 1, "seed of the deterministic fault plan")
 		replaySess = fs.Int("replay-sessions", 0, "concurrent live-replay session cap (0 = default)")
+		role       = fs.String("role", "standalone", "process role: standalone, coordinator or worker")
+		distAddr   = fs.String("dist-addr", ":9444", "coordinator RPC listen address for workers (role=coordinator)")
+		join       = fs.String("join", "", "coordinator RPC address to join (role=worker)")
+		name       = fs.String("name", "", "worker name reported to the coordinator (role=worker)")
+		minWorkers = fs.Int("min-workers", 0, "live workers required before /readyz reports ready (role=coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *role == "worker" {
+		return runWorker(*join, *name, stdout, ready, stop)
+	}
+	if *role != "standalone" && *role != "coordinator" {
+		return fmt.Errorf("unknown -role %q (want standalone, coordinator or worker)", *role)
 	}
 
 	shape := serve.EngineShape{
@@ -75,7 +96,20 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	if *faultRate > 0 {
 		shape.Faults = cluster.NewFaultPlan(*faultSeed, *faultRate)
 	}
-	srv, err := serve.New(serve.Config{
+	var coord *dist.Coordinator
+	if *role == "coordinator" {
+		var err error
+		coord, err = dist.NewCoordinator(dist.Config{
+			Addr: *distAddr,
+			Logf: func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) },
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		fmt.Fprintf(stdout, "csbd coordinator accepting workers on %s\n", coord.Addr())
+	}
+	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
@@ -86,7 +120,12 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		CacheDiskBytes: *cacheDisk,
 		Shape:          shape,
 		ReplaySessions: *replaySess,
-	})
+		MinWorkers:     *minWorkers,
+	}
+	if coord != nil {
+		cfg.Dist = coord
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -121,4 +160,43 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return httpSrv.Shutdown(shutdownCtx)
+}
+
+// runWorker executes the worker role: join the coordinator and serve
+// dispatched tasks until SIGINT/SIGTERM (or stop closes).
+func runWorker(join, name string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	if join == "" {
+		return fmt.Errorf("role worker requires -join coordinator address")
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: join,
+		Name:        name,
+		Logf:        func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+	if stop != nil {
+		ctx2, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-ctx2.Done():
+			}
+		}()
+		ctx = ctx2
+	}
+	fmt.Fprintf(stdout, "csbd worker %q joining %s\n", name, join)
+	if ready != nil {
+		ready <- name
+	}
+	return w.Run(ctx)
 }

@@ -75,6 +75,8 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		horizonSec = fs.Int64("horizon-sec", 0, "streaming-detector reorder horizon in seconds")
 		rawOut     = fs.String("raw-out", "", "write consumed frame payloads to this file (byte-identity checks)")
 		labelsIn   = fs.String("labels", "", "labeled artifact (CSBF1+CSBL1) holding the consumed stream's ground truth; with -ids, alerts are scored against it")
+		dialWait   = fs.Duration("dial-timeout", 10*time.Second, "bound on connecting to the -consume address")
+		idleWait   = fs.Duration("idle-timeout", 30*time.Second, "per-read deadline while consuming: a stream silent this long is torn down (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +86,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		if *labelsIn != "" && !*runIDS {
 			return fmt.Errorf("-labels requires -ids (there are no alerts to score otherwise)")
 		}
-		return consumeStream(*consume, *runIDS, *windowSec, *horizonSec, *rawOut, *labelsIn, stdout)
+		return consumeStream(*consume, *dialWait, *idleWait, *runIDS, *windowSec, *horizonSec, *rawOut, *labelsIn, stdout)
 	}
 
 	policy, err := replay.ParseLagPolicy(*policyStr)
@@ -323,7 +325,22 @@ func followJob(daemon, jobID string) ([]netflow.Flow, [32]byte, error) {
 // scored against the labeled artifact's ground truth and the
 // precision/recall/F1 of the run is printed — the stream-side half of the
 // detection-quality benchmark.
-func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut, labelsPath string, stdout io.Writer) error {
+// idleReader refreshes the connection's read deadline before every read, so
+// the deadline bounds idle gaps between frames rather than total stream
+// duration (a long replay stays up as long as frames keep flowing).
+type idleReader struct {
+	c    net.Conn
+	idle time.Duration
+}
+
+func (r *idleReader) Read(p []byte) (int, error) {
+	if err := r.c.SetReadDeadline(time.Now().Add(r.idle)); err != nil {
+		return 0, err
+	}
+	return r.c.Read(p)
+}
+
+func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, runIDS bool, windowSec, horizonSec int64, rawOut, labelsPath string, stdout io.Writer) error {
 	// Load the ground truth before dialing: a bad labels file should fail
 	// fast, not after the stream has been consumed.
 	var truth *attack.Scenario
@@ -336,11 +353,19 @@ func consumeStream(addr string, runIDS bool, windowSec, horizonSec int64, rawOut
 			return err
 		}
 	}
-	conn, err := net.Dial("tcp", addr)
+	// Bounded dial and per-read idle deadline: an unreachable server fails in
+	// dialTimeout instead of the kernel's connect timeout, and a server that
+	// hangs mid-frame surfaces as a read error instead of wedging the client.
+	d := net.Dialer{Timeout: dialTimeout}
+	tcpConn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer tcpConn.Close()
+	var conn io.Reader = tcpConn
+	if idleTimeout > 0 {
+		conn = &idleReader{c: tcpConn, idle: idleTimeout}
+	}
 
 	var raw *os.File
 	if rawOut != "" {

@@ -30,6 +30,9 @@ type HotpathResult struct {
 	ItemsPerSec float64 `json:"items_per_sec"`
 	// Unit names the item: "edges" or "flows".
 	Unit string `json:"unit"`
+	// Workers is the distributed worker count behind this result (0 for
+	// in-process cases, set only by the dist experiment rows).
+	Workers int `json:"workers,omitempty"`
 }
 
 // HotpathReport is the full machine-readable suite output (BENCH_PR6.json).
@@ -39,14 +42,17 @@ type HotpathResult struct {
 // parallelism is how single-core baselines (BENCH_PR5 was num_cpu=1) stop
 // hiding parallel speedups.
 type HotpathReport struct {
-	Schema     string          `json:"schema"`
-	GoVersion  string          `json:"go_version"`
-	GOOS       string          `json:"goos"`
-	GOARCH     string          `json:"goarch"`
-	NumCPU     int             `json:"num_cpu"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Seed       uint64          `json:"seed"`
-	Results    []HotpathResult `json:"results"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// WorkerCounts lists the distributed worker counts the dist experiment
+	// rows swept (empty when the sweep did not run).
+	WorkerCounts []int           `json:"worker_counts,omitempty"`
+	Seed         uint64          `json:"seed"`
+	Results      []HotpathResult `json:"results"`
 }
 
 // hotpathCase is one suite entry: run is a standard benchmark body, items

@@ -48,7 +48,8 @@ func ReplayFanout(flows []netflow.Flow, counts []int) ([]ReplayFanoutPoint, erro
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", ln.Addr().String())
+				d := net.Dialer{Timeout: 10 * time.Second}
+				conn, err := d.Dial("tcp", ln.Addr().String())
 				if err != nil {
 					errs[i] = err
 					return
@@ -150,7 +151,8 @@ func ReplaySlowSubscriber(flows []netflow.Flow, healthy int, rate float64, polic
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", ln.Addr().String())
+				d := net.Dialer{Timeout: 10 * time.Second}
+				conn, err := d.Dial("tcp", ln.Addr().String())
 				if err != nil {
 					errs[i] = err
 					return

@@ -92,6 +92,11 @@ type Config struct {
 	// errors and straggler delays into task attempts for chaos testing. It
 	// never alters committed output, only the attempt schedule.
 	Faults *FaultPlan
+	// Executor, when non-nil, receives every attempt of stages that declare
+	// a RemoteStage and may run them in another process (see executor.go).
+	// Where an attempt executes never changes committed bytes, so Executor —
+	// like the fault knobs above — is not part of artifact identity.
+	Executor TaskExecutor
 }
 
 // StageRecord is one executed stage span: what operation ran, under which
@@ -124,6 +129,7 @@ type StageRecord struct {
 	Retries        int // re-attempts scheduled after failed attempts
 	Speculative    int // duplicate attempts launched for stragglers
 	FailedAttempts int // attempts that panicked or returned an injected fault
+	Remote         int // attempts that executed on a remote worker
 }
 
 // DefaultPlatformOverheadBytes is the per-node platform overhead used when
@@ -153,6 +159,9 @@ type Metrics struct {
 	// TaskFailures counts attempts that panicked or hit an injected fault
 	// (including ones later recovered by a retry).
 	TaskFailures int64
+	// RemoteTasks counts task attempts executed on a remote worker via the
+	// configured TaskExecutor.
+	RemoteTasks int64
 	// StageLog holds per-stage records when Config.RecordStages is set.
 	StageLog []StageRecord
 }
@@ -344,6 +353,7 @@ type stageSpec struct {
 	weights  []int64      // optional per-task weights (element counts)
 	bytesIn  int64        // estimated input footprint
 	bytesOut func() int64 // evaluated after the tasks complete; nil means 0
+	remote   *RemoteStage // non-nil when tasks can run in another process
 }
 
 // runStage executes nTasks tasks on the real worker pool, measures each, and
@@ -367,7 +377,7 @@ func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 		return
 	}
 	realStart := time.Now()
-	st := newStageRun(c, spec.op, c.execSeq.Add(1), nTasks, task)
+	st := newStageRun(c, spec.op, c.execSeq.Add(1), nTasks, task, spec.remote)
 	st.run()
 	if st.failure != nil {
 		c.fail(st.failure)
@@ -419,6 +429,7 @@ func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 		Retries:        int(st.retries.Load()),
 		Speculative:    int(st.speculative.Load()),
 		FailedAttempts: int(st.failures.Load()),
+		Remote:         int(st.remoteRuns.Load()),
 	}
 	rec.TaskMin, rec.TaskMax, rec.TaskMean, rec.Skew = taskStats(durations)
 	c.commit(rec, func(m *Metrics) {
@@ -428,6 +439,7 @@ func (c *Cluster) runStage(spec stageSpec, nTasks int, task func(i int)) {
 		m.TaskRetries += int64(rec.Retries)
 		m.SpeculativeTasks += int64(rec.Speculative)
 		m.TaskFailures += int64(rec.FailedAttempts)
+		m.RemoteTasks += int64(rec.Remote)
 	})
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"reflect"
@@ -141,6 +142,94 @@ func Generate[T any](c *Cluster, n int64, partitions int, seed uint64, gen func(
 		parts[i] = out
 	})
 	return newDataset(c, parts)
+}
+
+// GenerateRemotable is Generate for stages that can also run in another
+// process: locally it is byte-for-byte Generate (same partitioning, same
+// per-partition RNG streams), but when the cluster has a TaskExecutor each
+// partition task may instead be dispatched as remote.Kind with
+// payload(part, seed, count) bytes, and the worker's result bytes are decoded
+// into the partition with decode. Partitioning depends only on (n, partitions,
+// cluster shape) — never on worker availability — which is what keeps output
+// identical in-process, with 1 worker, and with N workers.
+func GenerateRemotable[T any](c *Cluster, n int64, partitions int, seed uint64, kind string,
+	gen func(rng *rand.Rand, emit func(T), count int64),
+	payload func(part int, seed uint64, count int64) []byte,
+	decode func(result []byte) ([]T, error),
+) *Dataset[T] {
+	p := c.defaultPartitions(partitions)
+	if int64(p) > n && n > 0 {
+		p = int(n)
+	}
+	if n == 0 {
+		return newDataset(c, make([][]T, 0))
+	}
+	parts := make([][]T, p)
+	base := n / int64(p)
+	rem := n % int64(p)
+	weights := make([]int64, p)
+	for i := range weights {
+		weights[i] = base
+		if int64(i) < rem {
+			weights[i]++
+		}
+	}
+	remote := &RemoteStage{
+		Kind:    kind,
+		Payload: func(task int) []byte { return payload(task, seed, weights[task]) },
+		Apply: func(task int, result []byte) error {
+			out, err := decode(result)
+			if err != nil {
+				return err
+			}
+			if int64(len(out)) != weights[task] {
+				return fmt.Errorf("cluster: remote %s task %d returned %d elements, want %d",
+					kind, task, len(out), weights[task])
+			}
+			parts[task] = out
+			return nil
+		},
+	}
+	c.runStage(stageSpec{op: "generate", weights: weights, remote: remote,
+		bytesOut: func() int64 { return bytesOf(parts) }}, p, func(i int) {
+		count := weights[i]
+		out := make([]T, 0, count)
+		rng := DeriveRNG(seed, uint64(i))
+		gen(rng, func(v T) { out = append(out, v) }, count)
+		parts[i] = out
+	})
+	return newDataset(c, parts)
+}
+
+// MapPartitionsRemotable is MapPartitions for stages that can also run in
+// another process: f is the local closure; payload renders partition i's
+// input as self-contained bytes for remote.Kind, and decode turns a worker's
+// result bytes back into the output partition. The two paths must agree
+// byte-for-byte (f(i, xs) == decode(worker(payload(i, xs)))) — the golden
+// determinism tests hold them together.
+func MapPartitionsRemotable[T, U any](in *Dataset[T], kind string,
+	f func(part int, xs []T) []U,
+	payload func(part int, xs []T) []byte,
+	decode func(result []byte) ([]U, error),
+) *Dataset[U] {
+	parts := make([][]U, len(in.parts))
+	spec := inSpec("mapPartitions", in, parts)
+	spec.remote = &RemoteStage{
+		Kind:    kind,
+		Payload: func(task int) []byte { return payload(task, in.parts[task]) },
+		Apply: func(task int, result []byte) error {
+			out, err := decode(result)
+			if err != nil {
+				return err
+			}
+			parts[task] = out
+			return nil
+		},
+	}
+	in.c.runStage(spec, len(in.parts), func(i int) {
+		parts[i] = f(i, in.parts[i])
+	})
+	return newDataset(in.c, parts)
 }
 
 // Map applies f to every element.

@@ -31,6 +31,7 @@ package cluster
 //     independent of MaxParallel and host speed.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -235,6 +236,8 @@ type stageRun struct {
 	seq        uint64 // deterministic stage sequence for fault decisions
 	n          int
 	task       func(int)
+	remote     *RemoteStage // non-nil when the stage's tasks are remotable
+	executor   TaskExecutor // non-nil when the cluster has a remote executor
 	maxRetries int
 	backoff    time.Duration
 	faults     *FaultPlan
@@ -255,9 +258,10 @@ type stageRun struct {
 	failures    atomic.Int64
 	retries     atomic.Int64
 	speculative atomic.Int64
+	remoteRuns  atomic.Int64
 }
 
-func newStageRun(c *Cluster, op string, seq uint64, n int, task func(int)) *stageRun {
+func newStageRun(c *Cluster, op string, seq uint64, n int, task func(int), remote *RemoteStage) *stageRun {
 	st := &stageRun{
 		c:          c,
 		op:         op,
@@ -265,6 +269,8 @@ func newStageRun(c *Cluster, op string, seq uint64, n int, task func(int)) *stag
 		seq:        seq,
 		n:          n,
 		task:       task,
+		remote:     remote,
+		executor:   c.cfg.Executor,
 		maxRetries: c.cfg.MaxTaskRetries,
 		backoff:    c.cfg.RetryBackoff,
 		faults:     c.cfg.Faults,
@@ -384,6 +390,14 @@ func (st *stageRun) execute(att taskAttempt, slot *taskSlot) (err error) {
 			time.Sleep(d) // straggle, then run normally
 		}
 	}
+	if st.remote != nil && st.executor != nil {
+		handled, err := st.executeRemote(att, slot)
+		if handled {
+			return err
+		}
+		// The executor declined (no live worker); fall through to the local
+		// closure so output never depends on worker availability.
+	}
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	if slot.committed {
@@ -398,6 +412,49 @@ func (st *stageRun) execute(att taskAttempt, slot *taskSlot) (err error) {
 		st.stopOnce.Do(func() { close(st.stop) })
 	}
 	return nil
+}
+
+// executeRemote dispatches one attempt through the cluster's TaskExecutor.
+// The RPC waits outside the commit lock — a speculative duplicate must not
+// serialize behind a hung call to a dead worker — and only the Apply of the
+// returned bytes runs under it, winning or discarding exactly like a local
+// closure. handled is false when the executor declined (ErrNoRemote), in
+// which case the caller falls back to local execution.
+func (st *stageRun) executeRemote(att taskAttempt, slot *taskSlot) (handled bool, err error) {
+	ctx := st.c.cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	result, err := st.executor.ExecRemote(ctx,
+		StageInfo{Op: st.op, Label: st.label, Seq: st.seq},
+		AttemptInfo{Task: att.task, Attempt: att.attempt, Speculative: att.speculative},
+		st.remote.Kind,
+		func() []byte { return st.remote.Payload(att.task) })
+	if errors.Is(err, ErrNoRemote) {
+		return false, nil
+	}
+	if err != nil {
+		return true, err
+	}
+	st.remoteRuns.Add(1)
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.committed {
+		return true, nil // lost the commit race; the worker's bytes are discarded
+	}
+	if err := st.remote.Apply(att.task, result); err != nil {
+		return true, err
+	}
+	// The recorded duration covers dispatch through apply, so the straggler
+	// monitor sees remote tasks on the same clock as local ones.
+	slot.durNS.Store(int64(time.Since(start)))
+	slot.committed = true
+	slot.done.Store(true)
+	if st.remaining.Add(-1) == 0 {
+		st.stopOnce.Do(func() { close(st.stop) })
+	}
+	return true, nil
 }
 
 // fail records the stage's terminal failure (first one wins) and stops the

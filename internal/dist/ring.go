@@ -1,0 +1,71 @@
+package dist
+
+// ring.go is the task-routing half of the coordinator: a consistent hash
+// ring over the live workers, looked up with a key derived from
+// (stage sequence, task index, attempt number). Folding the attempt number
+// into the key means a retry of a failed task lands on a *different* point
+// of the ring — after a worker dies mid-stage, its re-dispatched tasks
+// spread over the survivors instead of hammering the hole. Routing affects
+// only placement, never bytes, so the ring needs stability (small worker
+// churn moves few keys), not determinism across deployments.
+
+import "sort"
+
+// vnodesPerWorker spreads each worker over the ring so load stays even at
+// small worker counts.
+const vnodesPerWorker = 64
+
+// ring maps uint64 keys to worker ids via consistent hashing. Not
+// goroutine-safe; the coordinator guards it with its own mutex.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   uint64
+}
+
+// mix64 is the SplitMix64 finalizer, the repo's standard bit mixer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// routeKey derives the ring key for one task attempt.
+func routeKey(stageSeq uint64, task, attempt int) uint64 {
+	return mix64(mix64(mix64(stageSeq)^uint64(task)) ^ uint64(attempt))
+}
+
+// add inserts a worker's virtual nodes.
+func (r *ring) add(id uint64) {
+	for v := 0; v < vnodesPerWorker; v++ {
+		r.points = append(r.points, ringPoint{hash: mix64(mix64(id) ^ uint64(v)), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// remove deletes a worker's virtual nodes.
+func (r *ring) remove(id uint64) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.id != id {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// lookup returns the worker owning key, or (0, false) on an empty ring.
+func (r *ring) lookup(key uint64) (uint64, bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns keys past the last
+	}
+	return r.points[i].id, true
+}

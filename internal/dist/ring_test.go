@@ -1,0 +1,97 @@
+package dist
+
+import "testing"
+
+func TestRingEmpty(t *testing.T) {
+	var r ring
+	if _, ok := r.lookup(123); ok {
+		t.Fatal("empty ring returned a worker")
+	}
+}
+
+func TestRingSingleWorkerOwnsEverything(t *testing.T) {
+	var r ring
+	r.add(7)
+	for i := 0; i < 1000; i++ {
+		id, ok := r.lookup(routeKey(1, i, 0))
+		if !ok || id != 7 {
+			t.Fatalf("key %d -> (%d, %v)", i, id, ok)
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	var r ring
+	ids := []uint64{1, 2, 3, 4}
+	for _, id := range ids {
+		r.add(id)
+	}
+	counts := map[uint64]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		id, ok := r.lookup(routeKey(3, i, 0))
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[id]++
+	}
+	for _, id := range ids {
+		// With 64 vnodes per worker, each of 4 workers should land well
+		// within [10%, 45%] of the keys.
+		if c := counts[id]; c < n/10 || c > n*45/100 {
+			t.Fatalf("worker %d owns %d/%d keys: %v", id, c, n, counts)
+		}
+	}
+}
+
+func TestRingRemoveMovesOnlyOrphanedKeys(t *testing.T) {
+	var r ring
+	r.add(1)
+	r.add(2)
+	r.add(3)
+	before := map[int]uint64{}
+	for i := 0; i < 1000; i++ {
+		id, _ := r.lookup(routeKey(9, i, 0))
+		before[i] = id
+	}
+	r.remove(2)
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		id, ok := r.lookup(routeKey(9, i, 0))
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if id == 2 {
+			t.Fatal("removed worker still owns keys")
+		}
+		if before[i] != 2 && id != before[i] {
+			moved++
+		}
+	}
+	// Consistent hashing: keys not owned by the removed worker stay put.
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving workers", moved)
+	}
+}
+
+func TestRouteKeyAttemptChangesRouting(t *testing.T) {
+	// Folding the attempt into the key must re-route most retries: over many
+	// tasks on a 4-worker ring, attempt 1 should land elsewhere than attempt
+	// 0 for a substantial fraction.
+	var r ring
+	for id := uint64(1); id <= 4; id++ {
+		r.add(id)
+	}
+	differs := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a0, _ := r.lookup(routeKey(5, i, 0))
+		a1, _ := r.lookup(routeKey(5, i, 1))
+		if a0 != a1 {
+			differs++
+		}
+	}
+	if differs < n/2 {
+		t.Fatalf("only %d/%d retries re-routed", differs, n)
+	}
+}

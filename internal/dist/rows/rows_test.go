@@ -1,0 +1,164 @@
+package rows
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"csb/internal/dist/task"
+	"csb/internal/graph"
+	"csb/internal/netflow"
+)
+
+// testEdges builds a deterministic mix of TCP and UDP edges with varied
+// properties.
+func testEdges(n int) []graph.Edge {
+	rng := rand.New(rand.NewPCG(1, 2))
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		proto := graph.ProtoTCP
+		state := graph.TCPState(rng.IntN(4))
+		if i%3 == 0 {
+			proto = graph.ProtoUDP
+			state = graph.StateNone
+		}
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(rng.Int64N(1000)),
+			Dst: graph.VertexID(rng.Int64N(1000)),
+			Props: graph.EdgeProps{
+				Protocol: proto,
+				State:    state,
+				SrcPort:  uint16(rng.IntN(65536)),
+				DstPort:  uint16(rng.IntN(65536)),
+				Duration: rng.Int64N(100000),
+				OutBytes: rng.Int64N(1 << 30),
+				InBytes:  rng.Int64N(1 << 30),
+				OutPkts:  rng.Int64N(1 << 20),
+				InPkts:   rng.Int64N(1 << 20),
+			},
+		}
+	}
+	return edges
+}
+
+func TestEdgeRecordRoundTrip(t *testing.T) {
+	edges := testEdges(50)
+	got, err := DecodeEdges(EncodeEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], edges[i])
+		}
+	}
+	if _, err := DecodeEdges([]byte{1, 2, 3}); err == nil {
+		t.Fatal("ragged edge payload accepted")
+	}
+}
+
+func TestTSVRowsMatchSequentialWriter(t *testing.T) {
+	edges := testEdges(80)
+	g := graph.New(1000)
+	if err := g.AddEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := g.WriteEdgeList(&want); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]byte(graph.EdgeListHeader), TSVRows(edges)...)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("distributed tsv differs from sequential writer\ngot:  %q\nwant: %q",
+			firstDiff(got, want.Bytes()), "")
+	}
+}
+
+func TestCSVRowsMatchSequentialWriter(t *testing.T) {
+	edges := testEdges(80)
+	g := graph.New(1000)
+	if err := g.AddEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	flows := netflow.FlowsFromGraph(g)
+	var want bytes.Buffer
+	if err := netflow.WriteCSV(&want, flows); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]byte(netflow.CSVHeaderLine), CSVRows(flows)...)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("distributed csv differs from sequential writer at %q", firstDiff(got, want.Bytes()))
+	}
+}
+
+func TestFlowRecordRoundTrip(t *testing.T) {
+	g := graph.New(1000)
+	if err := g.AddEdges(testEdges(40)); err != nil {
+		t.Fatal(err)
+	}
+	flows := netflow.FlowsFromGraph(g)
+	got, err := DecodeFlows(EncodeFlows(flows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(flows) {
+		t.Fatalf("decoded %d flows, want %d", len(got), len(flows))
+	}
+	for i := range flows {
+		if got[i] != flows[i] {
+			t.Fatalf("flow %d = %+v, want %+v", i, got[i], flows[i])
+		}
+	}
+}
+
+// TestKindsRunThroughRegistry drives each registered kind end to end the way
+// a worker would: payload bytes in, row bytes out.
+func TestKindsRunThroughRegistry(t *testing.T) {
+	edges := testEdges(30)
+	out, err := task.Run(TSVKind, EncodeEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, TSVRows(edges)) {
+		t.Fatal("registry tsv differs from direct TSVRows")
+	}
+	out, err = task.Run(NDJSONKind, EncodeEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NDJSONRows(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, direct) {
+		t.Fatal("registry ndjson differs from direct NDJSONRows")
+	}
+	if _, err := task.Run(TSVKind, []byte{1}); err == nil {
+		t.Fatal("ragged payload ran")
+	}
+}
+
+// firstDiff returns a short window around the first differing byte.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 20
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 20
+			if hi > n {
+				hi = n
+			}
+			return string(a[lo:hi])
+		}
+	}
+	return ""
+}

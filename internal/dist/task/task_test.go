@@ -1,0 +1,54 @@
+package task
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndRun(t *testing.T) {
+	Register("tasktest.rev", func(p []byte) ([]byte, error) {
+		out := make([]byte, len(p))
+		for i, b := range p {
+			out[len(p)-1-i] = b
+		}
+		return out, nil
+	})
+	got, err := Run("tasktest.rev", []byte("abc"))
+	if err != nil || string(got) != "cba" {
+		t.Fatalf("Run = %q, %v", got, err)
+	}
+	kinds := Kinds()
+	found := false
+	for _, k := range kinds {
+		if k == "tasktest.rev" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Kinds() = %v, missing tasktest.rev", kinds)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if _, err := Run("tasktest.nope", nil); err == nil {
+		t.Fatal("unknown kind ran")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("tasktest.dup", func(p []byte) ([]byte, error) { return p, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("tasktest.dup", func(p []byte) ([]byte, error) { return p, nil })
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	Register("tasktest.fail", func(p []byte) ([]byte, error) { return nil, sentinel })
+	if _, err := Run("tasktest.fail", nil); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}

@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csb/internal/dist/task"
+)
+
+// Worker defaults applied by RunWorker to zero-valued WorkerConfig fields.
+const (
+	// DefaultDialTimeout bounds one connection attempt to the coordinator.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultReconnectBase is the first reconnect backoff; it doubles per
+	// consecutive failure up to DefaultReconnectMax, with jitter.
+	DefaultReconnectBase = 200 * time.Millisecond
+	// DefaultReconnectMax caps the reconnect backoff.
+	DefaultReconnectMax = 5 * time.Second
+	// DefaultReplicaBudget bounds the worker's replica store.
+	DefaultReplicaBudget = 256 << 20
+)
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's listen address to join.
+	Coordinator string
+	// Name identifies the worker in /workers and log lines (defaults to
+	// "worker").
+	Name string
+	// HeartbeatInterval is how often to heartbeat (0 means
+	// DefaultHeartbeatInterval). The read deadline is derived from it, so
+	// missing coordinator acks also tears the session down.
+	HeartbeatInterval time.Duration
+	// DialTimeout bounds one connection attempt (0 means DefaultDialTimeout).
+	DialTimeout time.Duration
+	// ReconnectMax caps the jittered exponential reconnect backoff
+	// (0 means DefaultReconnectMax).
+	ReconnectMax time.Duration
+	// ReplicaBudget bounds the bytes of replicated artifacts kept (0 means
+	// DefaultReplicaBudget); the oldest replicas evict first.
+	ReplicaBudget int64
+	// Logf, when non-nil, receives session lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Worker is the csbd worker runtime: it joins a coordinator, executes
+// dispatched task kinds (everything registered in internal/dist/task), and
+// stores replicated artifacts. Run drives the connect/serve/reconnect loop
+// until the context ends.
+type Worker struct {
+	cfg WorkerConfig
+
+	// Replica store: id -> bytes, with insertion order for byte-budget
+	// eviction (oldest first).
+	rmu     sync.Mutex
+	reps    map[string][]byte
+	order   []string
+	rbytes  int64
+	rstored atomic.Int64
+
+	tasksRun    atomic.Int64
+	tasksFailed atomic.Int64
+	sessions    atomic.Int64 // completed connection sessions (reconnect count)
+}
+
+// NewWorker validates cfg and returns a Worker ready to Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("dist: worker needs a coordinator address")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.ReconnectMax == 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	if cfg.ReplicaBudget == 0 {
+		cfg.ReplicaBudget = DefaultReplicaBudget
+	}
+	return &Worker{cfg: cfg, reps: make(map[string][]byte)}, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// TasksRun returns how many dispatched tasks this worker has executed.
+func (w *Worker) TasksRun() int64 { return w.tasksRun.Load() }
+
+// ReplicasStored returns how many replicate pushes this worker accepted.
+func (w *Worker) ReplicasStored() int64 { return w.rstored.Load() }
+
+// Run joins the coordinator and serves tasks until ctx ends, reconnecting
+// with jittered exponential backoff after connection loss. It returns nil
+// once ctx is done.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := DefaultReconnectBase
+	for attempt := uint64(0); ; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		err := w.session(ctx, attempt)
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.logf("dist: worker %q session ended: %v (reconnecting in ~%v)", w.cfg.Name, err, backoff)
+		// Deterministic jitter into [0.5, 1.5) of the base, keyed on the
+		// attempt counter, decorrelates a fleet of workers reconnecting
+		// after a coordinator restart.
+		frac := 0.5 + float64(mix64(attempt^0x7265636f6e6e)>>11)/(1<<53)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(time.Duration(float64(backoff) * frac)):
+		}
+		if backoff *= 2; backoff > w.cfg.ReconnectMax {
+			backoff = w.cfg.ReconnectMax
+		}
+	}
+}
+
+// session runs one connection lifetime: dial, handshake, serve frames.
+func (w *Worker) session(ctx context.Context, attempt uint64) error {
+	d := net.Dialer{Timeout: w.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.cfg.Coordinator)
+	if err != nil {
+		return err
+	}
+	// The read deadline is 3 heartbeat intervals plus the coordinator's own
+	// grace: heartbeat acks flow back every interval, so a healthy session
+	// always has traffic well inside it.
+	wc := newWireConn(conn, 3*w.cfg.HeartbeatInterval+time.Second, DefaultWriteTimeout)
+	defer wc.Close()
+	hello, err := encodeHello(w.cfg.Name)
+	if err != nil {
+		return err
+	}
+	if err := wc.writeFrame(frameHello, 0, hello); err != nil {
+		return err
+	}
+	ok, err := wc.readFrame()
+	if err != nil {
+		return err
+	}
+	if ok.typ != frameHelloOK || len(ok.payload) != 8 {
+		return corruptf("bad hello reply (type %d, %d bytes)", ok.typ, len(ok.payload))
+	}
+	id := binary.BigEndian.Uint64(ok.payload)
+	w.sessions.Add(1)
+	w.logf("dist: worker %q joined %s as id %d", w.cfg.Name, w.cfg.Coordinator, id)
+
+	// Heartbeat sender; its failure also tears the session down via the
+	// read deadline (no ack traffic).
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		tick := time.NewTicker(w.cfg.HeartbeatInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				if err := wc.writeFrame(frameHeartbeat, 0, nil); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	// Close the connection when ctx ends so the blocking read returns.
+	go func() {
+		<-hbCtx.Done()
+		wc.Close()
+	}()
+
+	var tasks sync.WaitGroup
+	defer tasks.Wait()
+	for {
+		f, err := wc.readFrame()
+		if err != nil {
+			return err
+		}
+		switch f.typ {
+		case frameHeartbeat: // ack; the read deadline was just refreshed
+		case frameTask:
+			tasks.Add(1)
+			go func(f frame) {
+				defer tasks.Done()
+				w.runTask(wc, f)
+			}(f)
+		case frameReplicate:
+			w.storeReplica(wc, f)
+		case frameReplicaGet:
+			w.serveReplica(wc, f)
+		default:
+			return corruptf("unexpected frame type %d from coordinator", f.typ)
+		}
+	}
+}
+
+// runTask executes one dispatched task and replies with its result bytes.
+func (w *Worker) runTask(wc *wireConn, f frame) {
+	kind, payload, err := decodeTask(f.payload)
+	var result []byte
+	if err == nil {
+		result, err = task.Run(kind, payload)
+	}
+	if err != nil {
+		w.tasksFailed.Add(1)
+		wc.writeFrame(frameError, f.req, []byte(err.Error()))
+		return
+	}
+	w.tasksRun.Add(1)
+	if err := wc.writeFrame(frameResult, f.req, result); err != nil {
+		// Connection is going down; the read loop will notice and
+		// reconnect. The coordinator re-dispatches through the retry path.
+		w.logf("dist: worker %q failed to send %s result: %v", w.cfg.Name, kind, err)
+	}
+}
+
+// storeReplica installs one replicated artifact under the byte budget.
+func (w *Worker) storeReplica(wc *wireConn, f frame) {
+	id, data, err := decodeReplica(f.payload)
+	if err != nil {
+		wc.writeFrame(frameError, f.req, []byte(err.Error()))
+		return
+	}
+	if int64(len(data)) > w.cfg.ReplicaBudget {
+		wc.writeFrame(frameError, f.req, []byte("replica exceeds worker budget"))
+		return
+	}
+	w.rmu.Lock()
+	if old, ok := w.reps[id]; ok {
+		w.rbytes -= int64(len(old))
+	} else {
+		w.order = append(w.order, id)
+	}
+	w.reps[id] = data
+	w.rbytes += int64(len(data))
+	for w.rbytes > w.cfg.ReplicaBudget && len(w.order) > 0 {
+		oldest := w.order[0]
+		w.order = w.order[1:]
+		if oldest == id {
+			// Never evict the replica just stored; re-queue it as newest.
+			w.order = append(w.order, oldest)
+			continue
+		}
+		w.rbytes -= int64(len(w.reps[oldest]))
+		delete(w.reps, oldest)
+	}
+	w.rmu.Unlock()
+	w.rstored.Add(1)
+	wc.writeFrame(frameReplicateOK, f.req, nil)
+}
+
+// serveReplica answers a replica read.
+func (w *Worker) serveReplica(wc *wireConn, f frame) {
+	id, _, err := decodeReplica(f.payload)
+	if err != nil {
+		wc.writeFrame(frameError, f.req, []byte(err.Error()))
+		return
+	}
+	w.rmu.Lock()
+	data, ok := w.reps[id]
+	w.rmu.Unlock()
+	if !ok {
+		wc.writeFrame(frameError, f.req, []byte("replica not held: "+id))
+		return
+	}
+	wc.writeFrame(frameReplicaData, f.req, data)
+}

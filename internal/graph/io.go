@@ -36,6 +36,21 @@ const (
 	edgeRecordSize = 8 + 8 + 1 + 1 + 2 + 2 + 8 + 8 + 8 + 8 + 8
 )
 
+// EdgeRecordLen is the size of one binary edge record — the unit of the
+// CSBG edge section and of the distributed row-encode payloads.
+const EdgeRecordLen = edgeRecordSize
+
+// AppendEdgeRecord appends e's fixed-size binary record to dst.
+func AppendEdgeRecord(dst []byte, e *Edge) []byte {
+	var rec [edgeRecordSize]byte
+	encodeEdge(e, rec[:])
+	return append(dst, rec[:]...)
+}
+
+// DecodeEdgeRecord parses one binary edge record (rec must hold exactly
+// EdgeRecordLen bytes; extra bytes are ignored).
+func DecodeEdgeRecord(rec []byte) Edge { return decodeEdge(rec) }
+
 // Write serializes the graph in CSBG format.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufpool.Get(w)
@@ -155,6 +170,39 @@ func Read(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// EdgeListHeader is the header row of the tab-separated edge-list format.
+const EdgeListHeader = "src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate\n"
+
+// AppendEdgeListRow appends e's tab-separated edge-list row (with trailing
+// newline) to dst. WriteEdgeList and the distributed row encoders share this
+// single formatter, which is what keeps their bytes identical.
+func AppendEdgeListRow(dst []byte, e *Edge) []byte {
+	b := dst
+	b = strconv.AppendInt(b, int64(e.Src), 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, int64(e.Dst), 10)
+	b = append(b, '\t')
+	b = append(b, e.Props.Protocol.String()...)
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(e.Props.SrcPort), 10)
+	b = append(b, '\t')
+	b = strconv.AppendUint(b, uint64(e.Props.DstPort), 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, e.Props.Duration, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, e.Props.OutBytes, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, e.Props.InBytes, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, e.Props.OutPkts, 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, e.Props.InPkts, 10)
+	b = append(b, '\t')
+	b = append(b, e.Props.State.String()...)
+	b = append(b, '\n')
+	return b
+}
+
 // WriteEdgeList writes a human-readable tab-separated edge list with a header
 // row, one flow edge per line. Rows are built append-style in a pooled
 // scratch buffer; the bytes match the fmt.Fprintf form this replaced
@@ -162,34 +210,11 @@ func Read(r io.Reader) (*Graph, error) {
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufpool.Get(w)
 	defer bufpool.Put(bw)
-	if _, err := bw.WriteString("src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate\n"); err != nil {
+	if _, err := bw.WriteString(EdgeListHeader); err != nil {
 		return err
 	}
 	for i := range g.edges {
-		e := &g.edges[i]
-		b := bw.Scratch[:0]
-		b = strconv.AppendInt(b, int64(e.Src), 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, int64(e.Dst), 10)
-		b = append(b, '\t')
-		b = append(b, e.Props.Protocol.String()...)
-		b = append(b, '\t')
-		b = strconv.AppendUint(b, uint64(e.Props.SrcPort), 10)
-		b = append(b, '\t')
-		b = strconv.AppendUint(b, uint64(e.Props.DstPort), 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, e.Props.Duration, 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, e.Props.OutBytes, 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, e.Props.InBytes, 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, e.Props.OutPkts, 10)
-		b = append(b, '\t')
-		b = strconv.AppendInt(b, e.Props.InPkts, 10)
-		b = append(b, '\t')
-		b = append(b, e.Props.State.String()...)
-		b = append(b, '\n')
+		b := AppendEdgeListRow(bw.Scratch[:0], &g.edges[i])
 		bw.Scratch = b
 		if _, err := bw.Write(b); err != nil {
 			return err

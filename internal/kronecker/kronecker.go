@@ -223,13 +223,23 @@ func GenerateParallel(c *cluster.Cluster, in Initiator, k int, edges int64, seed
 		}
 		endRound := c.Scope(fmt.Sprintf("round%d", round+1))
 		// Overprovision slightly: collisions shrink the distinct yield.
+		// The drop stage is remotable (DropTaskKind): on a cluster with a
+		// TaskExecutor each partition's descents may run in a worker process,
+		// which replays the identical (seed, partition) RNG stream — the
+		// bytes are the same wherever the balls drop.
 		toDrop := missing + missing/8 + 1
-		fresh := cluster.Generate(c, toDrop, 0, seed^(round+1)*0x9e37, func(rng *rand.Rand, emit func(pair), count int64) {
-			for i := int64(0); i < count; i++ {
-				u, v := dropEdge(&in, k, rng)
-				emit(pair{u, v})
-			}
-		})
+		roundSeed := seed ^ (round+1)*0x9e37
+		fresh := cluster.GenerateRemotable(c, toDrop, 0, roundSeed, DropTaskKind,
+			func(rng *rand.Rand, emit func(pair), count int64) {
+				for i := int64(0); i < count; i++ {
+					u, v := dropEdge(&in, k, rng)
+					emit(pair{u, v})
+				}
+			},
+			func(part int, s uint64, count int64) []byte {
+				return encodeDropTask(in, k, s, uint64(part), count)
+			},
+			decodePairs)
 		if ds == nil {
 			ds = fresh
 		} else {

@@ -16,6 +16,47 @@ var csvHeader = []string{
 	"out_pkts", "in_pkts", "state", "syn", "ack",
 }
 
+// CSVHeaderLine is the header row WriteCSV emits, exposed so chunked
+// (distributed) encoders can write the header once and concatenate row
+// chunks after it.
+const CSVHeaderLine = "start_us,end_us,src_ip,dst_ip,proto,src_port,dst_port,out_bytes,in_bytes,out_pkts,in_pkts,state,syn,ack\n"
+
+// AppendCSVRow appends f's CSV row (with trailing newline) to dst. WriteCSV
+// and the distributed row encoders share this single formatter, which is
+// what keeps their bytes identical.
+func AppendCSVRow(dst []byte, f *Flow) []byte {
+	b := dst
+	b = strconv.AppendInt(b, f.StartMicros, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.EndMicros, 10)
+	b = append(b, ',')
+	b = appendIPv4(b, f.SrcIP)
+	b = append(b, ',')
+	b = appendIPv4(b, f.DstIP)
+	b = append(b, ',')
+	b = append(b, f.Protocol.String()...)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(f.SrcPort), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, uint64(f.DstPort), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.OutBytes, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.InBytes, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.OutPkts, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.InPkts, 10)
+	b = append(b, ',')
+	b = append(b, f.State.String()...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.SYNCount, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.ACKCount, 10)
+	b = append(b, '\n')
+	return b
+}
+
 // WriteCSV serializes flows as CSV with a header row, the textual Netflow
 // exchange format of the toolchain. Rows are formatted append-style into a
 // pooled scratch buffer — every field is a bare number or a fixed token
@@ -39,36 +80,7 @@ func WriteCSV(w io.Writer, flows []Flow) error {
 		return err
 	}
 	for i := range flows {
-		f := &flows[i]
-		b := bw.Scratch[:0]
-		b = strconv.AppendInt(b, f.StartMicros, 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.EndMicros, 10)
-		b = append(b, ',')
-		b = appendIPv4(b, f.SrcIP)
-		b = append(b, ',')
-		b = appendIPv4(b, f.DstIP)
-		b = append(b, ',')
-		b = append(b, f.Protocol.String()...)
-		b = append(b, ',')
-		b = strconv.AppendUint(b, uint64(f.SrcPort), 10)
-		b = append(b, ',')
-		b = strconv.AppendUint(b, uint64(f.DstPort), 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.OutBytes, 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.InBytes, 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.OutPkts, 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.InPkts, 10)
-		b = append(b, ',')
-		b = append(b, f.State.String()...)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.SYNCount, 10)
-		b = append(b, ',')
-		b = strconv.AppendInt(b, f.ACKCount, 10)
-		b = append(b, '\n')
+		b := AppendCSVRow(bw.Scratch[:0], &flows[i])
 		bw.Scratch = b
 		if _, err := bw.Write(b); err != nil {
 			return err

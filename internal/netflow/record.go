@@ -1,0 +1,59 @@
+package netflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"csb/internal/graph"
+)
+
+// FlowRecordLen is the size of one fixed binary flow record — the unit of
+// the distributed CSV row-encode payloads (internal/dist/rows). Layout, all
+// big-endian: start, end (int64), srcIP, dstIP (uint32), proto, state
+// (uint8), srcPort, dstPort (uint16), outBytes, inBytes, outPkts, inPkts,
+// syn, ack (int64).
+const FlowRecordLen = 8 + 8 + 4 + 4 + 1 + 1 + 2 + 2 + 8 + 8 + 8 + 8 + 8 + 8
+
+// AppendFlowRecord appends f's fixed-size binary record to dst.
+func AppendFlowRecord(dst []byte, f *Flow) []byte {
+	var rec [FlowRecordLen]byte
+	binary.BigEndian.PutUint64(rec[0:8], uint64(f.StartMicros))
+	binary.BigEndian.PutUint64(rec[8:16], uint64(f.EndMicros))
+	binary.BigEndian.PutUint32(rec[16:20], f.SrcIP)
+	binary.BigEndian.PutUint32(rec[20:24], f.DstIP)
+	rec[24] = byte(f.Protocol)
+	rec[25] = byte(f.State)
+	binary.BigEndian.PutUint16(rec[26:28], f.SrcPort)
+	binary.BigEndian.PutUint16(rec[28:30], f.DstPort)
+	binary.BigEndian.PutUint64(rec[30:38], uint64(f.OutBytes))
+	binary.BigEndian.PutUint64(rec[38:46], uint64(f.InBytes))
+	binary.BigEndian.PutUint64(rec[46:54], uint64(f.OutPkts))
+	binary.BigEndian.PutUint64(rec[54:62], uint64(f.InPkts))
+	binary.BigEndian.PutUint64(rec[62:70], uint64(f.SYNCount))
+	binary.BigEndian.PutUint64(rec[70:78], uint64(f.ACKCount))
+	return append(dst, rec[:]...)
+}
+
+// DecodeFlowRecord parses one binary flow record (rec must hold at least
+// FlowRecordLen bytes).
+func DecodeFlowRecord(rec []byte) (Flow, error) {
+	if len(rec) < FlowRecordLen {
+		return Flow{}, fmt.Errorf("netflow: flow record is %d bytes, want %d", len(rec), FlowRecordLen)
+	}
+	var f Flow
+	f.StartMicros = int64(binary.BigEndian.Uint64(rec[0:8]))
+	f.EndMicros = int64(binary.BigEndian.Uint64(rec[8:16]))
+	f.SrcIP = binary.BigEndian.Uint32(rec[16:20])
+	f.DstIP = binary.BigEndian.Uint32(rec[20:24])
+	f.Protocol = graph.Protocol(rec[24])
+	f.State = graph.TCPState(rec[25])
+	f.SrcPort = binary.BigEndian.Uint16(rec[26:28])
+	f.DstPort = binary.BigEndian.Uint16(rec[28:30])
+	f.OutBytes = int64(binary.BigEndian.Uint64(rec[30:38]))
+	f.InBytes = int64(binary.BigEndian.Uint64(rec[38:46]))
+	f.OutPkts = int64(binary.BigEndian.Uint64(rec[46:54]))
+	f.InPkts = int64(binary.BigEndian.Uint64(rec[54:62]))
+	f.SYNCount = int64(binary.BigEndian.Uint64(rec[62:70]))
+	f.ACKCount = int64(binary.BigEndian.Uint64(rec[70:78]))
+	return f, nil
+}

@@ -3,12 +3,12 @@ package serve
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 
 	"csb/internal/cluster"
 	"csb/internal/core"
+	"csb/internal/dist/rows"
 	"csb/internal/graph"
 	"csb/internal/netflow"
 	"csb/internal/pcap"
@@ -41,8 +41,10 @@ type EngineShape struct {
 }
 
 // newCluster builds the per-job execution cluster: the deployment's engine
-// shape, bounded by ctx, traced by tracer (both may be nil).
-func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer) (*cluster.Cluster, error) {
+// shape, bounded by ctx, traced by tracer, dispatching remotable stages to
+// exec (all three may be nil). Like the fault knobs, exec is not part of
+// artifact identity: where a stage's tasks run never changes their bytes.
+func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer, exec cluster.TaskExecutor) (*cluster.Cluster, error) {
 	nodes := sh.Nodes
 	if nodes <= 0 {
 		nodes = 1
@@ -56,6 +58,7 @@ func (sh EngineShape) newCluster(ctx context.Context, tracer *cluster.Tracer) (*
 		MaxTaskRetries: sh.MaxTaskRetries,
 		Speculation:    sh.Speculation,
 		Faults:         sh.Faults,
+		Executor:       exec,
 	}
 	if cfg.CoresPerNode == 0 {
 		// Match cluster.Local(0): single node exposing every local core.
@@ -102,7 +105,7 @@ func BuildArtifact(ctx context.Context, spec Spec, c *cluster.Cluster) ([]byte, 
 		return nil, err
 	}
 	var buf bytes.Buffer
-	if err := EncodeArtifact(&buf, g, spec.Format); err != nil {
+	if err := encodeArtifactOn(&buf, g, spec.Format, c); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -136,39 +139,73 @@ func EncodeArtifact(w io.Writer, g *graph.Graph, format string) error {
 	}
 }
 
-// ndjsonEdge is the NDJSON projection of one flow edge; field names mirror
-// the TSV edge-list header.
-type ndjsonEdge struct {
-	Src        int64  `json:"src"`
-	Dst        int64  `json:"dst"`
-	Proto      string `json:"proto"`
-	SrcPort    uint16 `json:"src_port"`
-	DstPort    uint16 `json:"dst_port"`
-	DurationMS int64  `json:"duration_ms"`
-	OutBytes   int64  `json:"out_bytes"`
-	InBytes    int64  `json:"in_bytes"`
-	OutPkts    int64  `json:"out_pkts"`
-	InPkts     int64  `json:"in_pkts"`
-	State      string `json:"state"`
+// writeNDJSON emits one JSON object per edge, newline-delimited, in edge
+// order (deterministic for deterministic graphs). The row formatter lives in
+// internal/dist/rows so the sequential and distributed encoders share it.
+func writeNDJSON(w io.Writer, g *graph.Graph) error {
+	out, err := rows.NDJSONRows(g.Edges())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(out)
+	return err
 }
 
-// writeNDJSON emits one JSON object per edge, newline-delimited, in edge
-// order (deterministic for deterministic graphs).
-func writeNDJSON(w io.Writer, g *graph.Graph) error {
-	enc := json.NewEncoder(w)
-	edges := g.Edges()
-	for i := range edges {
-		e := &edges[i]
-		rec := ndjsonEdge{
-			Src: int64(e.Src), Dst: int64(e.Dst),
-			Proto:   e.Props.Protocol.String(),
-			SrcPort: e.Props.SrcPort, DstPort: e.Props.DstPort,
-			DurationMS: e.Props.Duration,
-			OutBytes:   e.Props.OutBytes, InBytes: e.Props.InBytes,
-			OutPkts: e.Props.OutPkts, InPkts: e.Props.InPkts,
-			State: e.Props.State.String(),
+// encodeArtifactOn is EncodeArtifact with a distributed fast path: on a
+// cluster with a TaskExecutor the text formats encode chunk-parallel through
+// the engine (remotable row stages, see internal/dist/rows), so workers
+// carry the formatting and the coordinator concatenates header + chunks in
+// partition order. Chunks share the sequential writers' row formatters and
+// partitioning follows only the cluster shape, so the bytes are identical to
+// EncodeArtifact's on every worker count. csbg is not distributed — its
+// result bytes equal its input bytes, so shipping them wins nothing.
+func encodeArtifactOn(w io.Writer, g *graph.Graph, format string, c *cluster.Cluster) error {
+	if c == nil || c.Config().Executor == nil {
+		return EncodeArtifact(w, g, format)
+	}
+	switch format {
+	case FormatTSV, "":
+		return writeChunked(w, c, g.Edges(), graph.EdgeListHeader, rows.TSVKind,
+			func(xs []graph.Edge) []byte { return rows.TSVRows(xs) },
+			rows.EncodeEdges)
+	case FormatNDJSON:
+		return writeChunked(w, c, g.Edges(), "", rows.NDJSONKind,
+			func(xs []graph.Edge) []byte {
+				out, err := rows.NDJSONRows(xs)
+				if err != nil {
+					panic(err) // plain structs cannot fail to marshal
+				}
+				return out
+			},
+			rows.EncodeEdges)
+	case FormatCSV:
+		return writeChunked(w, c, netflow.FlowsFromGraph(g), netflow.CSVHeaderLine, rows.CSVKind,
+			func(xs []netflow.Flow) []byte { return rows.CSVRows(xs) },
+			rows.EncodeFlows)
+	default:
+		return EncodeArtifact(w, g, format)
+	}
+}
+
+// writeChunked runs one remotable row-encode stage over the records and
+// writes header plus the row chunks in partition order.
+func writeChunked[T any](w io.Writer, c *cluster.Cluster, recs []T, header, kind string,
+	local func(xs []T) []byte, payload func(xs []T) []byte) error {
+	ds := cluster.Parallelize(c, recs, 0)
+	chunks := cluster.MapPartitionsRemotable(ds, kind,
+		func(part int, xs []T) []byte { return local(xs) },
+		func(part int, xs []T) []byte { return payload(xs) },
+		func(result []byte) ([]byte, error) { return result, nil })
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if header != "" {
+		if _, err := io.WriteString(w, header); err != nil {
+			return err
 		}
-		if err := enc.Encode(rec); err != nil {
+	}
+	for i := 0; i < chunks.NumPartitions(); i++ {
+		if _, err := w.Write(chunks.Partition(i)); err != nil {
 			return err
 		}
 	}

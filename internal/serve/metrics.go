@@ -29,6 +29,31 @@ type Metrics struct {
 	// Stages aggregates the engine-stage spans of every job cluster by
 	// operation name, sorted by op.
 	Stages []StageMetric
+	// Dist is the distributed worker topology; nil when this daemon is not a
+	// coordinator.
+	Dist *DistMetrics
+}
+
+// DistMetrics snapshots the coordinator's worker pool for /metrics.
+type DistMetrics struct {
+	WorkersRegistered int64
+	WorkersLive       int64
+	WorkersLost       int64
+	TasksDispatched   int64
+	DispatchDeclined  int64
+	MinWorkers        int
+	// Workers lists live workers plus recent tombstones.
+	Workers []WorkerStat
+}
+
+// WorkerStat is the per-worker slice of DistMetrics.
+type WorkerStat struct {
+	Name           string
+	Live           bool
+	TasksDone      int64
+	TasksFailed    int64
+	ReplicasHeld   int64
+	HeartbeatAgeMS int64
 }
 
 // StageMetric is the aggregate of all recorded spans of one engine op.
@@ -44,6 +69,8 @@ type StageMetric struct {
 	Attempts    int64
 	Retries     int64
 	Speculative int64
+	// Remote counts task attempts committed on distributed workers.
+	Remote int64
 }
 
 // HitRatio returns cache hits / (hits + misses) at the job-admission level,
@@ -91,12 +118,32 @@ func (s *Server) Metrics() Metrics {
 		sm.Attempts += int64(span.Attempts)
 		sm.Retries += int64(span.Retries)
 		sm.Speculative += int64(span.Speculative)
+		sm.Remote += int64(span.Remote)
 	}
 	m.Stages = make([]StageMetric, 0, len(agg))
 	for _, sm := range agg {
 		m.Stages = append(m.Stages, *sm)
 	}
 	sort.Slice(m.Stages, func(i, j int) bool { return m.Stages[i].Op < m.Stages[j].Op })
+	if s.cfg.Dist != nil {
+		registered, live, lost, dispatched, declined := s.cfg.Dist.Counts()
+		dm := &DistMetrics{
+			WorkersRegistered: registered,
+			WorkersLive:       live,
+			WorkersLost:       lost,
+			TasksDispatched:   dispatched,
+			DispatchDeclined:  declined,
+			MinWorkers:        s.cfg.MinWorkers,
+		}
+		for _, wi := range s.cfg.Dist.Workers() {
+			dm.Workers = append(dm.Workers, WorkerStat{
+				Name: wi.Name, Live: wi.Live,
+				TasksDone: wi.TasksDone, TasksFailed: wi.TasksFailed,
+				ReplicasHeld: wi.ReplicasHeld, HeartbeatAgeMS: wi.HeartbeatAgeMS,
+			})
+		}
+		m.Dist = dm
+	}
 	return m
 }
 
@@ -145,10 +192,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "csbd_stage_attempts_total{op=%q} %d\n", sm.Op, sm.Attempts)
 		fmt.Fprintf(&b, "csbd_stage_retries_total{op=%q} %d\n", sm.Op, sm.Retries)
 		fmt.Fprintf(&b, "csbd_stage_speculative_total{op=%q} %d\n", sm.Op, sm.Speculative)
+		fmt.Fprintf(&b, "csbd_stage_remote_total{op=%q} %d\n", sm.Op, sm.Remote)
 		fmt.Fprintf(&b, "csbd_stage_real_seconds_total{op=%q} %.6f\n", sm.Op, sm.Real.Seconds())
 		fmt.Fprintf(&b, "csbd_stage_work_seconds_total{op=%q} %.6f\n", sm.Op, sm.Work.Seconds())
 		fmt.Fprintf(&b, "csbd_stage_bytes_in_total{op=%q} %d\n", sm.Op, sm.BytesIn)
 		fmt.Fprintf(&b, "csbd_stage_bytes_out_total{op=%q} %d\n", sm.Op, sm.BytesOut)
+	}
+	if m.Dist != nil {
+		put("csbd_dist_workers_registered_total", m.Dist.WorkersRegistered)
+		put("csbd_dist_workers_live", m.Dist.WorkersLive)
+		put("csbd_dist_workers_lost_total", m.Dist.WorkersLost)
+		put("csbd_dist_tasks_dispatched_total", m.Dist.TasksDispatched)
+		put("csbd_dist_dispatch_declined_total", m.Dist.DispatchDeclined)
+		put("csbd_dist_min_workers", m.Dist.MinWorkers)
+		for _, ws := range m.Dist.Workers {
+			live := 0
+			if ws.Live {
+				live = 1
+			}
+			fmt.Fprintf(&b, "csbd_dist_worker_live{worker=%q} %d\n", ws.Name, live)
+			fmt.Fprintf(&b, "csbd_dist_worker_tasks_done_total{worker=%q} %d\n", ws.Name, ws.TasksDone)
+			fmt.Fprintf(&b, "csbd_dist_worker_tasks_failed_total{worker=%q} %d\n", ws.Name, ws.TasksFailed)
+			fmt.Fprintf(&b, "csbd_dist_worker_replicas{worker=%q} %d\n", ws.Name, ws.ReplicasHeld)
+			fmt.Fprintf(&b, "csbd_dist_worker_heartbeat_age_seconds{worker=%q} %.3f\n",
+				ws.Name, float64(ws.HeartbeatAgeMS)/1000)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

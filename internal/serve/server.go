@@ -14,7 +14,25 @@ import (
 	"time"
 
 	"csb/internal/cluster"
+	"csb/internal/dist"
 )
+
+// DistPool is the coordinator-side view serve needs of the distributed
+// runtime (implemented by *dist.Coordinator): dispatch remotable stage tasks,
+// report worker topology, and replicate finished artifacts. Nil means
+// single-process operation.
+type DistPool interface {
+	cluster.TaskExecutor
+	// Workers lists known workers, live first, lost tombstones after.
+	Workers() []dist.WorkerInfo
+	// LiveWorkers counts currently-registered workers.
+	LiveWorkers() int
+	// Counts reports topology and dispatch totals.
+	Counts() (registered, live, lost, dispatched, declined int64)
+	// Replicate pushes an artifact to every live worker, returning how many
+	// stored it.
+	Replicate(ctx context.Context, id string, data []byte) int
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -51,6 +69,15 @@ type Config struct {
 	// ReplaySessions caps concurrently-running replay sessions (0 means
 	// DefaultReplaySessions); POST /replay beyond the cap is shed with 429.
 	ReplaySessions int
+	// Dist, when non-nil, dispatches remotable engine stages to registered
+	// worker processes and replicates finished artifacts to them. Like the
+	// fault knobs it is not part of artifact identity: bytes stay identical
+	// whether stages run in-process or on workers.
+	Dist DistPool
+	// MinWorkers gates /readyz when distributed: with Dist set, readiness
+	// additionally requires at least this many live workers. Zero means
+	// ready even with an empty pool (stages fall back to local execution).
+	MinWorkers int
 }
 
 // JobState is the lifecycle state of a job.
@@ -212,7 +239,11 @@ func New(cfg Config) (*Server, error) {
 		replays:  make(map[string]*replaySession),
 	}
 	s.buildArtifact = func(ctx context.Context, spec Spec) ([]byte, error) {
-		c, err := cfg.Shape.newCluster(ctx, s.tracer)
+		var exec cluster.TaskExecutor
+		if cfg.Dist != nil {
+			exec = cfg.Dist
+		}
+		c, err := cfg.Shape.newCluster(ctx, s.tracer, exec)
 		if err != nil {
 			return nil, err
 		}
@@ -302,6 +333,11 @@ func (s *Server) runJob(j *job) {
 		s.cache.Put(j.artifact, data)
 		j.state = StateDone
 		s.completed.Add(1)
+		if s.cfg.Dist != nil {
+			// Replicate so any worker can serve the artifact; best-effort and
+			// off the job's critical path, bounded by server lifetime.
+			go s.cfg.Dist.Replicate(s.baseCtx, j.artifact, data)
+		}
 	case errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.errMsg = "canceled"
@@ -467,6 +503,11 @@ func (s *Server) Ready() (bool, string) {
 	if !s.cache.DiskHealthy() {
 		return false, "artifact spill tier unavailable"
 	}
+	if s.cfg.Dist != nil && s.cfg.MinWorkers > 0 {
+		if live := s.cfg.Dist.LiveWorkers(); live < s.cfg.MinWorkers {
+			return false, fmt.Sprintf("%d/%d workers live", live, s.cfg.MinWorkers)
+		}
+	}
 	return true, "ok"
 }
 
@@ -480,8 +521,11 @@ func (s *Server) Ready() (bool, string) {
 //	POST   /replay             start a live replay session of an artifact
 //	GET    /replay/{id}        poll replay session status
 //	DELETE /replay/{id}        stop a replay session
+//	GET    /workers            distributed worker topology (JSON; 404 when
+//	                           not running distributed)
 //	GET    /healthz            liveness (process is up)
-//	GET    /readyz             readiness (queue has room, spill tier usable)
+//	GET    /readyz             readiness (queue has room, spill tier usable,
+//	                           enough live workers when distributed)
 //	GET    /metrics            service + engine-stage metrics (text)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -507,8 +551,27 @@ func (s *Server) Handler() http.Handler {
 		}
 		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("GET /workers", s.handleWorkers)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleWorkers is GET /workers: the coordinator's worker topology.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Dist == nil {
+		httpError(w, http.StatusNotFound, "not running distributed")
+		return
+	}
+	registered, live, lost, dispatched, declined := s.cfg.Dist.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registered_total": registered,
+		"live":             live,
+		"lost_total":       lost,
+		"dispatched_total": dispatched,
+		"declined_total":   declined,
+		"min_workers":      s.cfg.MinWorkers,
+		"workers":          s.cfg.Dist.Workers(),
+	})
 }
 
 // handleSubmit is POST /v1/jobs.

@@ -21,6 +21,17 @@
 //
 //	csbd -role coordinator -addr :8080 -dist-addr :9444 -min-workers 2
 //	csbd -role worker -join localhost:9444 -name w1
+//
+// Durability (-journal): job lifecycle and coordinator stage checkpoints are
+// appended to a CRC-checksummed write-ahead log; on restart the daemon
+// re-enqueues jobs that were accepted but not finished, and a checkpointed
+// coordinator skips stage tasks whose results the journal already holds.
+// Chaos soaks (-chaos-net): the coordinator/worker RPC wire runs through a
+// deterministic seeded fault injector (see internal/chaosnet.ParseSpec for
+// the spec grammar).
+//
+//	csbd -journal /var/lib/csbd/journal.wal
+//	csbd -role worker -join localhost:9444 -chaos-net latency=2ms,corrupt=0.01,seed=7,grace=4
 package main
 
 import (
@@ -35,8 +46,10 @@ import (
 	"syscall"
 	"time"
 
+	"csb/internal/chaosnet"
 	"csb/internal/cluster"
 	"csb/internal/dist"
+	"csb/internal/journal"
 	"csb/internal/serve"
 )
 
@@ -76,13 +89,27 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		join       = fs.String("join", "", "coordinator RPC address to join (role=worker)")
 		name       = fs.String("name", "", "worker name reported to the coordinator (role=worker)")
 		minWorkers = fs.Int("min-workers", 0, "live workers required before /readyz reports ready (role=coordinator)")
+		journalLog = fs.String("journal", "", "write-ahead log for crash-safe job resume and stage checkpoints (empty disables)")
+		chaosSpec  = fs.String("chaos-net", "", "wire fault spec for chaos soaks, e.g. latency=2ms,corrupt=0.01,seed=7 (dist roles only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var faults *chaosnet.Faults
+	if *chaosSpec != "" {
+		if *role != "coordinator" && *role != "worker" {
+			return fmt.Errorf("-chaos-net injects on the coordinator/worker wire; it requires -role coordinator or worker")
+		}
+		ccfg, err := chaosnet.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		faults = chaosnet.MustNew(ccfg) // spec already validated by ParseSpec
+	}
+
 	if *role == "worker" {
-		return runWorker(*join, *name, stdout, ready, stop)
+		return runWorker(*join, *name, faults, stdout, ready, stop)
 	}
 	if *role != "standalone" && *role != "coordinator" {
 		return fmt.Errorf("unknown -role %q (want standalone, coordinator or worker)", *role)
@@ -96,13 +123,33 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	if *faultRate > 0 {
 		shape.Faults = cluster.NewFaultPlan(*faultSeed, *faultRate)
 	}
+	var jl *journal.Journal
+	if *journalLog != "" {
+		var err error
+		if jl, err = journal.Open(*journalLog); err != nil {
+			return err
+		}
+		defer jl.Close()
+	}
+
 	var coord *dist.Coordinator
 	if *role == "coordinator" {
-		var err error
-		coord, err = dist.NewCoordinator(dist.Config{
+		dcfg := dist.Config{
 			Addr: *distAddr,
 			Logf: func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) },
-		})
+		}
+		if faults != nil {
+			// Inject on the accept side: every worker session runs through
+			// the fault model regardless of how the worker dialed.
+			ln, err := net.Listen("tcp", *distAddr)
+			if err != nil {
+				return err
+			}
+			dcfg.Listener = faults.Listen(ln)
+			fmt.Fprintf(stdout, "csbd chaos-net active on worker RPC: %s\n", *chaosSpec)
+		}
+		var err error
+		coord, err = dist.NewCoordinator(dcfg)
 		if err != nil {
 			return err
 		}
@@ -124,12 +171,25 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	}
 	if coord != nil {
 		cfg.Dist = coord
+		if jl != nil {
+			// Stage results checkpoint into the same journal as the job
+			// lifecycle, so a coordinator restart resumes mid-build instead
+			// of re-dispatching completed shards.
+			cfg.Dist = dist.Checkpointed(coord, jl)
+		}
 	}
+	cfg.Journal = jl
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if jl != nil {
+		if m := srv.Metrics().Journal; m != nil {
+			fmt.Fprintf(stdout, "csbd journal %s: replayed %d records, resumed %d jobs\n",
+				*journalLog, m.Replayed, m.JobsResumed)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -163,8 +223,10 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 }
 
 // runWorker executes the worker role: join the coordinator and serve
-// dispatched tasks until SIGINT/SIGTERM (or stop closes).
-func runWorker(join, name string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
+// dispatched tasks. SIGTERM drains gracefully — the worker tells the
+// coordinator to stop routing to it, finishes its in-flight tasks, and
+// exits clean; SIGINT (or a second signal, or stop closing) cancels hard.
+func runWorker(join, name string, faults *chaosnet.Faults, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	if join == "" {
 		return fmt.Errorf("role worker requires -join coordinator address")
 	}
@@ -172,28 +234,41 @@ func runWorker(join, name string, stdout io.Writer, ready chan<- string, stop <-
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	w, err := dist.NewWorker(dist.WorkerConfig{
+	wcfg := dist.WorkerConfig{
 		Coordinator: join,
 		Name:        name,
 		Logf:        func(format string, args ...any) { fmt.Fprintf(stdout, format+"\n", args...) },
-	})
+	}
+	if faults != nil {
+		wcfg.WrapConn = faults.Wrap
+		fmt.Fprintln(stdout, "csbd chaos-net active on coordinator connection")
+	}
+	w, err := dist.NewWorker(wcfg)
 	if err != nil {
 		return err
 	}
-	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stopSignals()
-	if stop != nil {
-		ctx2, cancel := context.WithCancel(ctx)
-		defer cancel()
-		go func() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		for {
 			select {
-			case <-stop:
+			case sig := <-sigs:
+				if sig == syscall.SIGTERM && !w.Draining() {
+					fmt.Fprintf(stdout, "csbd worker %q draining (signal again to force)\n", name)
+					w.Drain()
+					continue
+				}
 				cancel()
-			case <-ctx2.Done():
+			case <-stop: // nil blocks forever, which is fine
+				cancel()
+			case <-ctx.Done():
+				return
 			}
-		}()
-		ctx = ctx2
-	}
+		}
+	}()
 	fmt.Fprintf(stdout, "csbd worker %q joining %s\n", name, join)
 	if ready != nil {
 		ready <- name

@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"csb/internal/journal"
+	"csb/internal/serve"
 )
 
 // startDaemon boots the daemon on an ephemeral port and returns its base
@@ -133,5 +137,88 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-workers", "-3", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
 		t.Fatal("negative workers accepted")
+	}
+	// -chaos-net only makes sense on the distributed wire.
+	if err := run([]string{"-chaos-net", "latency=1ms", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
+		t.Fatal("-chaos-net accepted for standalone role")
+	}
+	if err := run([]string{"-role", "coordinator", "-chaos-net", "latency=bogus", "-addr", "127.0.0.1:0"}, &out, nil, nil); err == nil {
+		t.Fatal("malformed -chaos-net spec accepted")
+	}
+}
+
+// TestDaemonJournalResumesInterruptedJob simulates the kill -9 case at the
+// binary surface: a journal holding an accepted-but-unfinished job (exactly
+// what an abrupt death leaves behind) is handed to a fresh daemon via
+// -journal, which must re-enqueue the job and make its artifact fetchable by
+// content address.
+func TestDaemonJournalResumesInterruptedJob(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "csbd.wal")
+	spec := serve.Spec{Generator: serve.GenPGSK, Hosts: 15, Sessions: 150, Seed: 6, Edges: 2000}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, err := journal.Open(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Append(journal.Record{Kind: "job.accepted", Key: spec.ID(), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, shutdown := startDaemon(t, "-journal", wal)
+	defer shutdown()
+	deadline := time.Now().Add(60 * time.Second)
+	var data []byte
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("resumed job's artifact never appeared")
+		}
+		r, err := http.Get(base + "/v1/artifacts/" + spec.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ = io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.HasPrefix(data, []byte("src\tdst\t")) {
+		t.Fatalf("resumed artifact is not a TSV edge list: %.40q", data)
+	}
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(metrics), "csbd_jobs_resumed_total 1") {
+		t.Fatalf("metrics missing resume count: %s", metrics)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// A second boot over the same journal resumes nothing: the first run
+	// journaled the job's completion and compacted the log.
+	base2, shutdown2 := startDaemon(t, "-journal", wal)
+	defer shutdown2()
+	r, err = http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(metrics), "csbd_jobs_resumed_total 0") {
+		t.Fatalf("second boot resumed jobs: %s", metrics)
 	}
 }

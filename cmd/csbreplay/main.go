@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
@@ -77,6 +78,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		labelsIn   = fs.String("labels", "", "labeled artifact (CSBF1+CSBL1) holding the consumed stream's ground truth; with -ids, alerts are scored against it")
 		dialWait   = fs.Duration("dial-timeout", 10*time.Second, "bound on connecting to the -consume address")
 		idleWait   = fs.Duration("idle-timeout", 30*time.Second, "per-read deadline while consuming: a stream silent this long is torn down (0 disables)")
+		reconnect  = fs.Int("reconnect", 0, "with -consume, redial a torn stream up to this many times, resuming after the last delivered sequence (0 = fail on first tear)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +88,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		if *labelsIn != "" && !*runIDS {
 			return fmt.Errorf("-labels requires -ids (there are no alerts to score otherwise)")
 		}
-		return consumeStream(*consume, *dialWait, *idleWait, *runIDS, *windowSec, *horizonSec, *rawOut, *labelsIn, stdout)
+		return consumeStream(*consume, *dialWait, *idleWait, *reconnect, *runIDS, *windowSec, *horizonSec, *rawOut, *labelsIn, stdout)
 	}
 
 	policy, err := replay.ParseLagPolicy(*policyStr)
@@ -340,7 +342,7 @@ func (r *idleReader) Read(p []byte) (int, error) {
 	return r.c.Read(p)
 }
 
-func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, runIDS bool, windowSec, horizonSec int64, rawOut, labelsPath string, stdout io.Writer) error {
+func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, reconnect int, runIDS bool, windowSec, horizonSec int64, rawOut, labelsPath string, stdout io.Writer) error {
 	// Load the ground truth before dialing: a bad labels file should fail
 	// fast, not after the stream has been consumed.
 	var truth *attack.Scenario
@@ -353,22 +355,9 @@ func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, runIDS b
 			return err
 		}
 	}
-	// Bounded dial and per-read idle deadline: an unreachable server fails in
-	// dialTimeout instead of the kernel's connect timeout, and a server that
-	// hangs mid-frame surfaces as a read error instead of wedging the client.
-	d := net.Dialer{Timeout: dialTimeout}
-	tcpConn, err := d.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer tcpConn.Close()
-	var conn io.Reader = tcpConn
-	if idleTimeout > 0 {
-		conn = &idleReader{c: tcpConn, idle: idleTimeout}
-	}
-
 	var raw *os.File
 	if rawOut != "" {
+		var err error
 		if raw, err = os.Create(rawOut); err != nil {
 			return err
 		}
@@ -386,22 +375,102 @@ func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, runIDS b
 		}
 	}
 
-	st, err := replay.Consume(conn, func(seq uint64, f netflow.Flow, payload []byte) error {
-		if raw != nil {
-			if _, err := raw.Write(payload); err != nil {
+	// Session loop. Each pass dials and consumes until the stream ends or
+	// tears; with a reconnect budget, a torn session redials and resumes
+	// after the last delivered sequence. A restarted server replays the run
+	// from zero, so the resume filter below skips the already-delivered
+	// prefix — raw output and detector state see every flow exactly once.
+	// A session that delivers new flows refills the budget, so the budget
+	// bounds consecutive fruitless attempts, not total stream lifetime.
+	var (
+		d          = net.Dialer{Timeout: dialTimeout}
+		haveSeq    bool
+		lastSeq    uint64 // highest sequence delivered across all sessions
+		delivered  uint64
+		gaps       uint64
+		sha        [32]byte // stream identity, pinned by the first header
+		shaKnown   bool
+		header     replay.Header
+		clean      bool
+		attempt    int
+		consumeErr error
+	)
+	for {
+		// Bounded dial and per-read idle deadline: an unreachable server
+		// fails in dialTimeout instead of the kernel's connect timeout, and
+		// a server that hangs mid-frame surfaces as a read error instead of
+		// wedging the client.
+		tcpConn, err := d.Dial("tcp", addr)
+		if err != nil {
+			if attempt >= reconnect {
 				return err
 			}
+			attempt++
+			wait := reconnectDelay(attempt)
+			fmt.Fprintf(stdout, "dial %s: %v; retrying in %v (attempt %d/%d)\n",
+				addr, err, wait.Round(time.Millisecond), attempt, reconnect)
+			time.Sleep(wait)
+			continue
 		}
-		if det != nil {
-			det.Add(f) // late flows are counted; the stream keeps going
+		var conn io.Reader = tcpConn
+		if idleTimeout > 0 {
+			conn = &idleReader{c: tcpConn, idle: idleTimeout}
 		}
-		return nil
-	})
+		progressed := false
+		st, cerr := replay.Consume(conn, func(seq uint64, f netflow.Flow, payload []byte) error {
+			if haveSeq && seq <= lastSeq {
+				return nil // re-served prefix after a reconnect; already delivered
+			}
+			lastSeq, haveSeq = seq, true
+			progressed = true
+			delivered++
+			if raw != nil {
+				if _, err := raw.Write(payload); err != nil {
+					return err
+				}
+			}
+			if det != nil {
+				det.Add(f) // late flows are counted; the stream keeps going
+			}
+			return nil
+		})
+		tcpConn.Close()
+		gaps += st.Gaps
+		if st.Header != (replay.Header{}) {
+			header = st.Header
+			// The content address must hold across sessions: a reconnect that
+			// lands on a different dataset would silently splice two artifacts
+			// together. An all-zero SHA means unknown and is not checked.
+			if st.Header.ArtifactSHA != ([32]byte{}) {
+				if shaKnown && st.Header.ArtifactSHA != sha {
+					return fmt.Errorf("stream identity changed across reconnect: artifact %x… != %x…",
+						st.Header.ArtifactSHA[:8], sha[:8])
+				}
+				sha, shaKnown = st.Header.ArtifactSHA, true
+			}
+		}
+		if cerr == nil && st.Clean {
+			clean = true
+			break
+		}
+		if progressed {
+			attempt = 0
+		}
+		if attempt >= reconnect {
+			consumeErr = cerr
+			break
+		}
+		attempt++
+		wait := reconnectDelay(attempt)
+		fmt.Fprintf(stdout, "stream torn at seq %d (%v); reconnecting in %v (attempt %d/%d)\n",
+			lastSeq, cerr, wait.Round(time.Millisecond), attempt, reconnect)
+		time.Sleep(wait)
+	}
 	if det != nil {
 		det.Flush()
 	}
 	fmt.Fprintf(stdout, "consumed %d/%d flows (gaps=%d clean=%v)\n",
-		st.Received, st.Header.Flows, st.Gaps, st.Clean)
+		delivered, header.Flows, gaps, clean)
 	if det != nil {
 		fmt.Fprintf(stdout, "ids: %d alerts, %d late flows\n", len(alerts), det.LateFlows())
 	}
@@ -411,11 +480,25 @@ func consumeStream(addr string, dialTimeout, idleTimeout time.Duration, runIDS b
 			o.Precision(), o.Recall(), o.F1(),
 			o.TruePositives, o.FalseNegatives, o.FalsePositives, len(truth.Labels))
 	}
-	if err != nil {
-		return err
+	if consumeErr != nil {
+		return consumeErr
 	}
-	if !st.Clean {
+	if !clean {
 		return fmt.Errorf("stream ended without a clean end frame")
 	}
 	return nil
+}
+
+// reconnectDelay is the jittered exponential backoff between consume
+// sessions: 200ms doubling to a 5s cap, with a random component so a fleet
+// of consumers torn by the same server restart does not redial in lockstep.
+func reconnectDelay(attempt int) time.Duration {
+	base := 200 * time.Millisecond
+	for i := 1; i < attempt && base < 5*time.Second; i++ {
+		base *= 2
+	}
+	if base > 5*time.Second {
+		base = 5 * time.Second
+	}
+	return base/2 + time.Duration(rand.Int64N(int64(base)))
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"net"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -92,6 +95,115 @@ func TestServeAndConsumeEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(serveOut.String(), "replay done") {
 		t.Fatalf("serve output missing summary:\n%s", serveOut.String())
+	}
+}
+
+// encodeStream hand-assembles the CSBS1 wire bytes for a run: header, one
+// frame per flow with the rolling checksum, and the end frame. Scripted
+// server tests use this to serve exact byte prefixes.
+func encodeStream(flows []netflow.Flow) []byte {
+	var buf bytes.Buffer
+	hdr := replay.EncodeHeader(replay.Header{ArtifactSHA: [32]byte{1: 0xcb}, Flows: uint64(len(flows))})
+	buf.Write(hdr[:])
+	var crc uint32
+	writeFrame := func(length uint32, seq uint64, payload []byte) {
+		var pre [12]byte
+		binary.BigEndian.PutUint32(pre[0:4], length)
+		binary.BigEndian.PutUint64(pre[4:12], seq)
+		buf.Write(pre[:])
+		buf.Write(payload)
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		var sum [4]byte
+		binary.BigEndian.PutUint32(sum[:], crc)
+		buf.Write(sum[:])
+	}
+	for i := range flows {
+		rec := replay.EncodeFlow(&flows[i])
+		writeFrame(uint32(len(rec)), uint64(i), rec[:])
+	}
+	writeFrame(0, uint64(len(flows)), nil)
+	return buf.Bytes()
+}
+
+// TestConsumeReconnectResumesSequence tears a stream mid-frame after three
+// flows; the reconnecting consumer redials, the scripted server replays the
+// run from zero (a restarted server's behavior), and the consumer must skip
+// the already-delivered prefix: the raw output is byte-identical to an
+// uninterrupted run, every flow delivered exactly once.
+func TestConsumeReconnectResumesSequence(t *testing.T) {
+	_, flows := writeTestCSV(t)
+	if len(flows) < 6 {
+		t.Fatalf("trace too small: %d flows", len(flows))
+	}
+	full := encodeStream(flows)
+	const frameLen = replay.FlowRecordLen + 16 // len + seq + record + crc
+	cut := replay.HeaderLen + 3*frameLen + 7   // mid-fourth-frame tear
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for _, script := range [][]byte{full[:cut], full} {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Write(script)
+			c.Close()
+		}
+	}()
+
+	rawPath := filepath.Join(t.TempDir(), "raw.bin")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-consume", ln.Addr().String(), "-reconnect", "3", "-raw-out", rawPath,
+	}, &out, nil, nil); err != nil {
+		t.Fatalf("consume: %v\n%s", err, out.String())
+	}
+	got, err := os.ReadFile(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := replay.EncodeFlows(flows); !bytes.Equal(got, want) {
+		t.Fatalf("resumed payload %d bytes != uninterrupted run %d bytes", len(got), len(want))
+	}
+	for _, needle := range []string{
+		"stream torn at seq 2",
+		"clean=true",
+		fmt.Sprintf("consumed %d/%d flows", len(flows), len(flows)),
+	} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("output missing %q:\n%s", needle, out.String())
+		}
+	}
+}
+
+// TestConsumeReconnectBudgetExhausts: a server that tears every session
+// without ever delivering a flow burns the whole budget and the consumer
+// fails instead of redialing forever.
+func TestConsumeReconnectBudgetExhausts(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close() // never even a header
+		}
+	}()
+	var out bytes.Buffer
+	if err := run([]string{"-consume", ln.Addr().String(), "-reconnect", "1"}, &out, nil, nil); err == nil {
+		t.Fatalf("consume of a dead stream succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "attempt 1/1") {
+		t.Fatalf("output missing retry line:\n%s", out.String())
 	}
 }
 

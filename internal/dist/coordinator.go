@@ -26,6 +26,12 @@ const (
 	DefaultTaskTimeout = 2 * time.Minute
 	// DefaultWriteTimeout bounds one frame write.
 	DefaultWriteTimeout = 10 * time.Second
+	// DefaultBreakerTrips is how many consecutive task failures open a
+	// worker's circuit breaker (unrouted until the cooldown passes).
+	DefaultBreakerTrips = 5
+	// DefaultBreakerCooldown is how long an open breaker keeps a worker out
+	// of the ring before probation re-admits it.
+	DefaultBreakerCooldown = 10 * time.Second
 	// maxTombstones bounds the lost-worker history kept for /workers.
 	maxTombstones = 32
 )
@@ -44,6 +50,18 @@ type Config struct {
 	TaskTimeout time.Duration
 	// WriteTimeout bounds one frame write (0 means DefaultWriteTimeout).
 	WriteTimeout time.Duration
+	// Listener, when non-nil, is used instead of listening on Addr — the
+	// seam tests and the -chaos-net flag use to interpose a chaosnet fault
+	// proxy under the CSBD1 wire layer. The coordinator takes ownership.
+	Listener net.Listener
+	// BreakerTrips is how many consecutive task failures evict a flapping
+	// worker from the routing ring (0 means DefaultBreakerTrips; negative
+	// disables the circuit breaker).
+	BreakerTrips int
+	// BreakerCooldown is how long an open breaker holds before the worker
+	// is re-admitted on probation (0 means DefaultBreakerCooldown). One
+	// more failure on probation re-opens it; one success closes it fully.
+	BreakerCooldown time.Duration
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +79,13 @@ type WorkerInfo struct {
 	TasksDone      int64 `json:"tasks_done"`
 	TasksFailed    int64 `json:"tasks_failed"`
 	ReplicasHeld   int64 `json:"replicas_held"`
+	// Breaker is the worker's routing health: "closed" (routable), "open"
+	// (evicted after BreakerTrips consecutive failures), "probation"
+	// (re-admitted after cooldown, one failure from re-opening), or
+	// "draining" (graceful shutdown announced; unrouted).
+	Breaker string `json:"breaker"`
+	// BreakerTrips is the current consecutive-failure count.
+	BreakerTrips int `json:"breaker_trips"`
 }
 
 // rpcReply is one matched response frame.
@@ -84,6 +109,14 @@ type workerConn struct {
 	pmu     sync.Mutex
 	pending map[uint64]chan rpcReply
 	gone    bool
+
+	// Circuit-breaker and drain state, guarded by the coordinator's mutex
+	// (it moves with ring membership, which the same mutex guards).
+	trips     int       // consecutive task failures
+	open      bool      // breaker open: out of the ring until openUntil
+	probation bool      // re-admitted; one failure from re-opening
+	openUntil time.Time // cooldown expiry while open
+	draining  bool      // graceful drain announced; out of the ring for good
 }
 
 // registerPending allocates the reply channel for a request id. It fails
@@ -139,6 +172,10 @@ type Coordinator struct {
 	lostTotal       atomic.Int64
 	dispatched      atomic.Int64
 	declined        atomic.Int64 // ExecRemote calls declined (no live worker)
+
+	breakerOpened   atomic.Int64 // breakers tripped open
+	breakerReadmit  atomic.Int64 // probation re-admissions after cooldown
+	drainsAnnounced atomic.Int64 // workers that drained gracefully
 }
 
 // NewCoordinator starts listening on cfg.Addr and accepting worker
@@ -153,9 +190,21 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	if cfg.BreakerTrips == 0 {
+		cfg.BreakerTrips = DefaultBreakerTrips
+	} else if cfg.BreakerTrips < 0 {
+		cfg.BreakerTrips = 0 // disabled
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+		}
 	}
 	co := &Coordinator{cfg: cfg, ln: ln, workers: make(map[uint64]*workerConn)}
 	co.wg.Add(1)
@@ -266,6 +315,8 @@ func (co *Coordinator) handleConn(conn net.Conn) {
 			}
 		case frameResult, frameError, frameReplicateOK, frameReplicaData:
 			w.deliver(f)
+		case frameDrain:
+			co.beginDrain(w)
 		default:
 			co.drop(w, corruptf("unexpected frame type %d from worker", f.typ))
 			return
@@ -302,18 +353,94 @@ func (co *Coordinator) drop(w *workerConn, cause error) {
 	co.logf("dist: worker %q lost: %v", w.name, cause)
 }
 
-// info snapshots one worker's stats.
+// info snapshots one worker's stats. Callers hold the coordinator mutex
+// (which guards the breaker/drain fields).
 func (w *workerConn) info(live bool) WorkerInfo {
 	inf := WorkerInfo{
 		ID: w.id, Name: w.name, Addr: w.addr, Live: live,
 		TasksDone:    w.tasksDone.Load(),
 		TasksFailed:  w.tasksFailed.Load(),
 		ReplicasHeld: w.replicas.Load(),
+		BreakerTrips: w.trips,
+	}
+	switch {
+	case w.draining:
+		inf.Breaker = "draining"
+	case w.open:
+		inf.Breaker = "open"
+	case w.probation:
+		inf.Breaker = "probation"
+	default:
+		inf.Breaker = "closed"
 	}
 	if live {
 		inf.HeartbeatAgeMS = time.Since(time.Unix(0, w.lastBeat.Load())).Milliseconds()
 	}
 	return inf
+}
+
+// beginDrain handles a worker's drain announcement: out of the routing ring
+// immediately, but the session stays up so in-flight task results (and
+// replica reads) still deliver. The worker closes the connection once its
+// in-flight work is done, which lands in drop as a normal disconnect.
+func (co *Coordinator) beginDrain(w *workerConn) {
+	co.mu.Lock()
+	first := !w.draining
+	if first {
+		w.draining = true
+		co.hashes.remove(w.id)
+	}
+	co.mu.Unlock()
+	if first {
+		co.drainsAnnounced.Add(1)
+		co.logf("dist: worker %q draining (unrouted, session open for in-flight results)", w.name)
+	}
+}
+
+// noteFailure records one task failure against a worker's breaker; at
+// BreakerTrips consecutive failures the breaker opens: the worker leaves the
+// routing ring for BreakerCooldown, after which pick re-admits it on
+// probation. Heartbeats keep flowing — a flapping worker is unrouted, not
+// disconnected.
+func (co *Coordinator) noteFailure(w *workerConn) {
+	if co.cfg.BreakerTrips <= 0 {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if w.draining || w.open {
+		return
+	}
+	w.trips++
+	if w.trips >= co.cfg.BreakerTrips {
+		w.open = true
+		w.probation = false
+		w.openUntil = time.Now().Add(co.cfg.BreakerCooldown)
+		co.hashes.remove(w.id)
+		co.breakerOpened.Add(1)
+		co.logf("dist: worker %q breaker open after %d consecutive failures (cooldown %v)",
+			w.name, w.trips, co.cfg.BreakerCooldown)
+	}
+}
+
+// noteSuccess closes a worker's breaker bookkeeping after a completed task:
+// probation ends and the consecutive-failure count resets.
+func (co *Coordinator) noteSuccess(w *workerConn) {
+	if co.cfg.BreakerTrips <= 0 {
+		return
+	}
+	co.mu.Lock()
+	if w.trips != 0 || w.probation {
+		w.trips = 0
+		w.probation = false
+	}
+	co.mu.Unlock()
+}
+
+// BreakerStats returns the circuit-breaker and drain counters: breakers
+// tripped open, probation re-admissions, and graceful drains announced.
+func (co *Coordinator) BreakerStats() (opened, readmitted, drained int64) {
+	return co.breakerOpened.Load(), co.breakerReadmit.Load(), co.drainsAnnounced.Load()
 }
 
 // Workers returns the live workers followed by the recent lost ones,
@@ -355,10 +482,24 @@ func (co *Coordinator) Counts() (registered, live, lost, dispatched, declined in
 		co.dispatched.Load(), co.declined.Load()
 }
 
-// pick routes a ring key to a live worker.
+// pick routes a ring key to a live worker. It doubles as the breaker's
+// probation clock: any open breaker whose cooldown has passed is re-admitted
+// here, with the trip count left one short of the threshold so a single
+// probation failure re-opens it while a success closes it fully.
 func (co *Coordinator) pick(key uint64) *workerConn {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	now := time.Now()
+	for _, w := range co.workers {
+		if w.open && !w.draining && now.After(w.openUntil) {
+			w.open = false
+			w.probation = true
+			w.trips = co.cfg.BreakerTrips - 1
+			co.hashes.add(w.id)
+			co.breakerReadmit.Add(1)
+			co.logf("dist: worker %q re-admitted on probation", w.name)
+		}
+	}
 	id, ok := co.hashes.lookup(key)
 	if !ok {
 		return nil
@@ -405,6 +546,7 @@ func (co *Coordinator) ExecRemote(ctx context.Context, stage cluster.StageInfo, 
 		return nil, ctx.Err()
 	case <-timer.C:
 		w.unregisterPending(req)
+		co.noteFailure(w)
 		return nil, fmt.Errorf("dist: %s task %d timed out after %v on worker %q",
 			kind, att.Task, co.cfg.TaskTimeout, w.name)
 	case rep, ok := <-ch:
@@ -414,9 +556,11 @@ func (co *Coordinator) ExecRemote(ctx context.Context, stage cluster.StageInfo, 
 		switch rep.typ {
 		case frameResult:
 			w.tasksDone.Add(1)
+			co.noteSuccess(w)
 			return rep.payload, nil
 		case frameError:
 			w.tasksFailed.Add(1)
+			co.noteFailure(w)
 			return nil, fmt.Errorf("dist: worker %q failed %s task %d: %s", w.name, kind, att.Task, rep.payload)
 		default:
 			return nil, corruptf("unexpected reply type %d for task request", rep.typ)

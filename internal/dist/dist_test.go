@@ -33,17 +33,25 @@ func init() {
 // its in-flight tasks fail into the engine's retry path).
 type pool struct {
 	co      *dist.Coordinator
+	workers []*dist.Worker
+	runDone []chan struct{} // closed when the worker's Run returns
 	cancels []context.CancelFunc
 	wg      sync.WaitGroup
 }
 
 func startPool(t *testing.T, n int) *pool {
-	t.Helper()
-	co, err := dist.NewCoordinator(dist.Config{
+	return startPoolCfg(t, n, dist.Config{
 		Addr:             "127.0.0.1:0",
 		HeartbeatTimeout: 2 * time.Second,
 		TaskTimeout:      10 * time.Second,
-	})
+	}, nil)
+}
+
+// startPoolCfg starts a pool with a custom coordinator config and an
+// optional per-worker config hook (chaos wrapping, names).
+func startPoolCfg(t *testing.T, n int, cfg dist.Config, workerCfg func(i int, wc *dist.WorkerConfig)) *pool {
+	t.Helper()
+	co, err := dist.NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,19 +64,27 @@ func startPool(t *testing.T, n int) *pool {
 		co.Close()
 	})
 	for i := 0; i < n; i++ {
-		w, err := dist.NewWorker(dist.WorkerConfig{
+		wcfg := dist.WorkerConfig{
 			Coordinator:       co.Addr(),
 			Name:              fmt.Sprintf("w%d", i),
 			HeartbeatInterval: 100 * time.Millisecond,
-		})
+		}
+		if workerCfg != nil {
+			workerCfg(i, &wcfg)
+		}
+		w, err := dist.NewWorker(wcfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
+		p.workers = append(p.workers, w)
 		p.cancels = append(p.cancels, cancel)
+		done := make(chan struct{})
+		p.runDone = append(p.runDone, done)
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			defer close(done)
 			w.Run(ctx)
 		}()
 	}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"csb/internal/chaosnet"
+)
+
+// TestReconnectJitterDivergesAcrossWorkers: the reconnect backoff fraction
+// must differ between workers at the same attempt, or a fleet thunders back
+// in lockstep after a coordinator restart (the bug this fixes keyed the
+// jitter on the attempt counter alone).
+func TestReconnectJitterDivergesAcrossWorkers(t *testing.T) {
+	same := 0
+	const attempts = 64
+	for a := uint64(0); a < attempts; a++ {
+		f1 := reconnectJitter("w1", a)
+		f2 := reconnectJitter("w2", a)
+		if f1 < 0.5 || f1 >= 1.5 || f2 < 0.5 || f2 >= 1.5 {
+			t.Fatalf("attempt %d: fractions %v, %v outside [0.5, 1.5)", a, f1, f2)
+		}
+		if f1 == f2 {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("two workers computed identical jitter on %d/%d attempts", same, attempts)
+	}
+	// Deterministic per (name, attempt): restart-stable schedules.
+	if reconnectJitter("w1", 3) != reconnectJitter("w1", 3) {
+		t.Fatal("jitter is not deterministic")
+	}
+	// And the schedule varies across attempts for one worker.
+	if reconnectJitter("w1", 0) == reconnectJitter("w1", 1) {
+		t.Fatal("jitter does not vary across attempts")
+	}
+}
+
+// TestWireCorruptionSurfacesTypedError: a chaos-corrupted CSBD1 frame must
+// fail the CRC and surface ErrCorruptRPC — never silently deliver mangled
+// payload bytes. This is the typed error that re-enters the dispatch retry
+// budget in the coordinator.
+func TestWireCorruptionSurfacesTypedError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	defer server.Close()
+
+	// Corrupt every write on the client side; the server-side reader must
+	// reject each frame with the typed error, not hand back bad bytes.
+	faults := chaosnet.MustNew(chaosnet.Config{Seed: 11, CorruptRate: 1})
+	sender := newWireConn(faults.Wrap(raw), 2*time.Second, 2*time.Second)
+	defer sender.Close()
+	receiver := newWireConn(server, 2*time.Second, 2*time.Second)
+
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := sender.writeFrame(frameTask, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := receiver.readFrame(); !errors.Is(err, ErrCorruptRPC) {
+		t.Fatalf("read of corrupted frame: err = %v, want ErrCorruptRPC", err)
+	}
+}

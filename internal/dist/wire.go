@@ -64,6 +64,7 @@ const (
 	frameReplicateOK = 8  // worker -> coordinator: replica stored
 	frameReplicaGet  = 9  // coordinator -> worker: artifact id
 	frameReplicaData = 10 // worker -> coordinator: artifact bytes
+	frameDrain       = 11 // worker -> coordinator: draining, stop routing to me
 )
 
 // ErrCorruptRPC tags every decode failure caused by malformed CSBD1 bytes:

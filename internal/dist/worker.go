@@ -44,6 +44,10 @@ type WorkerConfig struct {
 	// ReplicaBudget bounds the bytes of replicated artifacts kept (0 means
 	// DefaultReplicaBudget); the oldest replicas evict first.
 	ReplicaBudget int64
+	// WrapConn, when non-nil, wraps the dialed coordinator connection —
+	// the seam tests and the -chaos-net flag use to interpose a
+	// chaosnet fault proxy under the CSBD1 wire layer.
+	WrapConn func(net.Conn) net.Conn
 	// Logf, when non-nil, receives session lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -66,6 +70,13 @@ type Worker struct {
 	tasksRun    atomic.Int64
 	tasksFailed atomic.Int64
 	sessions    atomic.Int64 // completed connection sessions (reconnect count)
+
+	// Graceful drain: Drain announces intent to the coordinator, finishes
+	// in-flight tasks, then Run returns.
+	drainOnce sync.Once
+	drainCh   chan struct{}
+	draining  atomic.Bool
+	inflight  atomic.Int64
 }
 
 // NewWorker validates cfg and returns a Worker ready to Run.
@@ -88,8 +99,23 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.ReplicaBudget == 0 {
 		cfg.ReplicaBudget = DefaultReplicaBudget
 	}
-	return &Worker{cfg: cfg, reps: make(map[string][]byte)}, nil
+	return &Worker{cfg: cfg, reps: make(map[string][]byte), drainCh: make(chan struct{})}, nil
 }
+
+// Drain flips the worker into graceful shutdown: it tells the coordinator to
+// stop routing new tasks here (frameDrain), lets in-flight tasks finish and
+// deliver their results, then closes the session and makes Run return nil.
+// This is the SIGTERM path of csbd -role worker; safe to call more than once
+// and from any goroutine.
+func (w *Worker) Drain() {
+	w.drainOnce.Do(func() {
+		w.draining.Store(true)
+		close(w.drainCh)
+	})
+}
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
@@ -113,14 +139,11 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		err := w.session(ctx, attempt)
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || w.draining.Load() {
 			return nil
 		}
 		w.logf("dist: worker %q session ended: %v (reconnecting in ~%v)", w.cfg.Name, err, backoff)
-		// Deterministic jitter into [0.5, 1.5) of the base, keyed on the
-		// attempt counter, decorrelates a fleet of workers reconnecting
-		// after a coordinator restart.
-		frac := 0.5 + float64(mix64(attempt^0x7265636f6e6e)>>11)/(1<<53)
+		frac := reconnectJitter(w.cfg.Name, attempt)
 		select {
 		case <-ctx.Done():
 			return nil
@@ -132,12 +155,29 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// reconnectJitter maps (worker name, attempt) deterministically into
+// [0.5, 1.5), the backoff fraction for one reconnect attempt. The name is
+// folded into the mix64 key so a fleet of workers reconnecting after a
+// coordinator restart spreads out instead of thundering back in lockstep —
+// keying on the attempt counter alone made every worker compute the
+// identical schedule.
+func reconnectJitter(name string, attempt uint64) float64 {
+	h := uint64(0x7265636f6e6e) // "reconn"
+	for _, b := range []byte(name) {
+		h = mix64(h ^ uint64(b))
+	}
+	return 0.5 + float64(mix64(h^attempt)>>11)/(1<<53)
+}
+
 // session runs one connection lifetime: dial, handshake, serve frames.
 func (w *Worker) session(ctx context.Context, attempt uint64) error {
 	d := net.Dialer{Timeout: w.cfg.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", w.cfg.Coordinator)
 	if err != nil {
 		return err
+	}
+	if w.cfg.WrapConn != nil {
+		conn = w.cfg.WrapConn(conn)
 	}
 	// The read deadline is 3 heartbeat intervals plus the coordinator's own
 	// grace: heartbeat acks flow back every interval, so a healthy session
@@ -185,6 +225,28 @@ func (w *Worker) session(ctx context.Context, attempt uint64) error {
 		<-hbCtx.Done()
 		wc.Close()
 	}()
+	// Graceful drain: announce it to the coordinator (which unroutes this
+	// worker but keeps the session for in-flight results), wait out the
+	// in-flight tasks, then close so the read loop below returns. A task
+	// that races the drain frame still runs to completion — the inflight
+	// counter covers it.
+	go func() {
+		select {
+		case <-hbCtx.Done():
+			return
+		case <-w.drainCh:
+		}
+		w.logf("dist: worker %q draining", w.cfg.Name)
+		wc.writeFrame(frameDrain, 0, nil)
+		for w.inflight.Load() > 0 {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		wc.Close()
+	}()
 
 	var tasks sync.WaitGroup
 	defer tasks.Wait()
@@ -197,8 +259,10 @@ func (w *Worker) session(ctx context.Context, attempt uint64) error {
 		case frameHeartbeat: // ack; the read deadline was just refreshed
 		case frameTask:
 			tasks.Add(1)
+			w.inflight.Add(1)
 			go func(f frame) {
 				defer tasks.Done()
+				defer w.inflight.Add(-1)
 				w.runTask(wc, f)
 			}(f)
 		case frameReplicate:

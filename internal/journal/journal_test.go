@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	want := []Record{
+		{Kind: "job.accepted", Key: "a1", Payload: []byte(`{"seed":7}`)},
+		{Kind: "task.done", Key: "t1", Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Kind: "job.done", Key: "a1"},
+		{Kind: "empty.payload", Key: ""},
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Stats().Appended; got != int64(len(want)) {
+		t.Fatalf("Appended = %d, want %d", got, len(want))
+	}
+	j.Close()
+
+	j2 := openT(t, path)
+	got := j2.Records()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Key != want[i].Key ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st := j2.Stats(); st.Replayed != len(want) || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTornTailTruncated simulates kill -9 mid-append: the journal must come
+// back with every intact record and the torn bytes discarded.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	j.Append(Record{Kind: "job.accepted", Key: "a1", Payload: []byte("spec")})
+	j.Append(Record{Kind: "job.accepted", Key: "a2", Payload: []byte("spec2")})
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 20; cut++ {
+		torn := raw[:len(raw)-cut]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		recs := j2.Records()
+		if len(recs) != 1 || recs[0].Key != "a1" {
+			t.Fatalf("cut %d: replayed %+v, want only a1", cut, recs)
+		}
+		if j2.Stats().TruncatedBytes == 0 {
+			t.Fatalf("cut %d: no truncation reported", cut)
+		}
+		// Appends after repair land after the surviving record.
+		if err := j2.Append(Record{Kind: "job.done", Key: "a1"}); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		j3 := openT(t, path)
+		if recs := j3.Records(); len(recs) != 2 || recs[1].Kind != "job.done" {
+			t.Fatalf("cut %d: after repair+append replayed %+v", cut, recs)
+		}
+		j3.Close()
+	}
+}
+
+// TestCorruptMidRecordTruncates flips a byte inside the first record: replay
+// must stop before it rather than serve corrupt bytes.
+func TestCorruptMidRecordTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	j.Append(Record{Kind: "job.accepted", Key: "a1", Payload: []byte("payload-1")})
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	raw[headerLen+5] ^= 0x20 // inside the record kind
+	os.WriteFile(path, raw, 0o644)
+	j2 := openT(t, path)
+	if recs := j2.Records(); len(recs) != 0 {
+		t.Fatalf("corrupt record replayed: %+v", recs)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	os.WriteFile(path, []byte("NOTJRNL0"), 0o644)
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTornHeaderReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	os.WriteFile(path, []byte("CSB"), 0o644) // crash mid-header
+	j := openT(t, path)
+	if recs := j.Records(); len(recs) != 0 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if err := j.Append(Record{Kind: "k", Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactKeepsFiltered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	j.Append(Record{Kind: "job.accepted", Key: "a1", Payload: []byte("s1")})
+	j.Append(Record{Kind: "job.done", Key: "a1"})
+	j.Append(Record{Kind: "job.accepted", Key: "a2", Payload: []byte("s2")})
+	j.Append(Record{Kind: "task.done", Key: "t9", Payload: []byte("result")})
+	j.Close()
+
+	j2 := openT(t, path)
+	before := j2.Stats().Bytes
+	if err := j2.Compact(func(r Record) bool { return r.Key == "a2" || r.Kind == "task.done" }); err != nil {
+		t.Fatal(err)
+	}
+	if after := j2.Stats().Bytes; after >= before {
+		t.Fatalf("compact grew the file: %d -> %d", before, after)
+	}
+	// Appends after compaction extend the compacted file.
+	if err := j2.Append(Record{Kind: "job.done", Key: "a2"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3 := openT(t, path)
+	recs := j3.Records()
+	if len(recs) != 3 || recs[0].Key != "a2" || recs[1].Key != "t9" || recs[2].Kind != "job.done" {
+		t.Fatalf("post-compact records = %+v", recs)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if err := j.Append(Record{Kind: "task.done", Key: "k", Payload: []byte{byte(i), byte(k)}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+	j2 := openT(t, path)
+	if got := len(j2.Records()); got != 160 {
+		t.Fatalf("replayed %d records, want 160", got)
+	}
+}
+
+func TestRecordLimits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j := openT(t, path)
+	if err := j.Append(Record{Kind: "", Key: "x"}); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := j.Append(Record{Kind: string(bytes.Repeat([]byte{'k'}, 256)), Key: "x"}); err == nil {
+		t.Error("oversized kind accepted")
+	}
+	if err := j.Append(Record{Kind: "k", Key: string(bytes.Repeat([]byte{'y'}, 256))}); err == nil {
+		t.Error("oversized key accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package replay
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"csb/internal/chaosnet"
+	"csb/internal/netflow"
+)
+
+// serveChaosFlows is serveFlows with a chaosnet injector wrapped around the
+// listener, so every subscriber connection runs through the fault model.
+func serveChaosFlows(t *testing.T, faults *chaosnet.Faults, flows []netflow.Flow, opts Options) (*Server, string) {
+	t.Helper()
+	s, err := NewServer(flows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(faults.Listen(ln))
+	t.Cleanup(s.Close)
+	return s, ln.Addr().String()
+}
+
+// TestReplayStreamByteIdenticalUnderShaping: CSBS1 delivery through latency,
+// jitter, slow-drip chunking and a bandwidth cap must still hand every
+// subscriber the exact artifact bytes — shaping reorders nothing and loses
+// nothing, it only stretches time.
+func TestReplayStreamByteIdenticalUnderShaping(t *testing.T) {
+	flows := testFlows(t, 20, 600, 5)
+	want := EncodeFlows(flows)
+	cases := []struct {
+		name string
+		cfg  chaosnet.Config
+	}{
+		{"latency-jitter-drip", chaosnet.Config{Seed: 3, Latency: 100 * time.Microsecond, Jitter: 500 * time.Microsecond, Drip: 256}},
+		{"bandwidth-cap", chaosnet.Config{Seed: 3, BandwidthBPS: 4 << 20, Drip: 1024}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faults := chaosnet.MustNew(tc.cfg)
+			s, addr := serveChaosFlows(t, faults, flows, Options{Speed: 0, Policy: PolicyBlock})
+			var wg sync.WaitGroup
+			results := make([]streamResult, 2)
+			for i := range results {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = collectStream(t, addr)
+				}(i)
+			}
+			if err := s.AwaitSubscribers(len(results), 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("subscriber %d: %v", i, r.err)
+				}
+				if !r.stats.Clean || string(r.payload) != string(want) {
+					t.Fatalf("subscriber %d: clean=%v, %d payload bytes (want %d)",
+						i, r.stats.Clean, len(r.payload), len(want))
+				}
+			}
+			if st := faults.Stats(); st.DelayedOps == 0 {
+				t.Error("shaping case delayed no operations")
+			}
+		})
+	}
+}
+
+// TestReplayStreamCorruptionSurfacesTypedError: wire corruption on a CSBS1
+// stream must be caught by the framing (record length, sequence order, the
+// rolling checksum) and surface as ErrCorruptStream — mangled flow bytes
+// must never be delivered as data.
+func TestReplayStreamCorruptionSurfacesTypedError(t *testing.T) {
+	flows := testFlows(t, 20, 600, 5)
+	want := EncodeFlows(flows)
+	// Grace exempts the first write op (which carries the stream header);
+	// every later write gets one flipped bit.
+	faults := chaosnet.MustNew(chaosnet.Config{Seed: 9, CorruptRate: 1, GraceOps: 1})
+	s, addr := serveChaosFlows(t, faults, flows, Options{Speed: 0, Policy: PolicyBlock})
+	done := make(chan streamResult, 1)
+	go func() { done <- collectStream(t, addr) }()
+	if err := s.AwaitSubscribers(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if !errors.Is(r.err, ErrCorruptStream) {
+		t.Fatalf("consume of corrupted stream: err = %v, want ErrCorruptStream", r.err)
+	}
+	if r.stats.Clean {
+		t.Fatal("corrupted stream reported a clean end")
+	}
+	// Whatever prefix was delivered before detection is a prefix of the
+	// truth: corruption never reached the consumer's payload.
+	if len(r.payload) > len(want) || string(want[:len(r.payload)]) != string(r.payload) {
+		t.Fatalf("delivered prefix (%d bytes) diverges from the artifact", len(r.payload))
+	}
+	if faults.Stats().Corrupted == 0 {
+		t.Fatal("injector reports no corruption")
+	}
+}

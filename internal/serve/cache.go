@@ -115,10 +115,13 @@ func (c *Cache) Get(id string) ([]byte, bool) {
 		c.mu.Lock()
 		if cur, still := c.disk[id]; still && cur == el {
 			c.removeDiskLocked(el, false)
-		}
-		if errors.Is(err, errSpillCorrupt) {
-			c.quarantined++
-			os.Rename(path, path+".quarantine")
+			// Quarantine only on the winning removal: concurrent readers of
+			// the same damaged file all fail verification, but exactly one
+			// moves it aside and counts it — the rest just report a miss.
+			if errors.Is(err, errSpillCorrupt) {
+				c.quarantined++
+				os.Rename(path, path+".quarantine")
+			}
 		}
 		c.misses++
 		c.mu.Unlock()

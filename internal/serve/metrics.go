@@ -32,6 +32,23 @@ type Metrics struct {
 	// Dist is the distributed worker topology; nil when this daemon is not a
 	// coordinator.
 	Dist *DistMetrics
+	// Journal is the durability WAL snapshot; nil when running without one.
+	Journal *JournalMetrics
+}
+
+// JournalMetrics snapshots the write-ahead log (Config.Journal).
+type JournalMetrics struct {
+	// JobsResumed counts jobs re-enqueued from the journal at startup.
+	JobsResumed int64
+	// AppendErrors counts failed journal writes and unreplayable records.
+	AppendErrors int64
+	// Replayed is how many records the journal recovered at open.
+	Replayed int64
+	// TruncatedBytes is the torn tail discarded at open (kill -9 mid-append).
+	TruncatedBytes int64
+	// Appended counts records written since open; Bytes is the file size.
+	Appended int64
+	Bytes    int64
 }
 
 // DistMetrics snapshots the coordinator's worker pool for /metrics.
@@ -144,6 +161,17 @@ func (s *Server) Metrics() Metrics {
 		}
 		m.Dist = dm
 	}
+	if s.journal != nil {
+		st := s.journal.Stats()
+		m.Journal = &JournalMetrics{
+			JobsResumed:    s.resumed.Load(),
+			AppendErrors:   s.journalErrs.Load(),
+			Replayed:       int64(st.Replayed),
+			TruncatedBytes: st.TruncatedBytes,
+			Appended:       st.Appended,
+			Bytes:          st.Bytes,
+		}
+	}
 	return m
 }
 
@@ -217,6 +245,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "csbd_dist_worker_heartbeat_age_seconds{worker=%q} %.3f\n",
 				ws.Name, float64(ws.HeartbeatAgeMS)/1000)
 		}
+	}
+	if m.Journal != nil {
+		put("csbd_jobs_resumed_total", m.Journal.JobsResumed)
+		put("csbd_journal_append_errors_total", m.Journal.AppendErrors)
+		put("csbd_journal_replayed_records", m.Journal.Replayed)
+		put("csbd_journal_truncated_bytes", m.Journal.TruncatedBytes)
+		put("csbd_journal_appended_total", m.Journal.Appended)
+		put("csbd_journal_bytes", m.Journal.Bytes)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))

@@ -15,6 +15,7 @@ import (
 
 	"csb/internal/cluster"
 	"csb/internal/dist"
+	"csb/internal/journal"
 )
 
 // DistPool is the coordinator-side view serve needs of the distributed
@@ -78,6 +79,13 @@ type Config struct {
 	// additionally requires at least this many live workers. Zero means
 	// ready even with an empty pool (stages fall back to local execution).
 	MinWorkers int
+	// Journal, when non-nil, makes the job queue crash-safe: every job
+	// lifecycle transition is appended to the write-ahead log, and New
+	// replays it to re-enqueue jobs that were accepted but never reached a
+	// terminal state — so kill -9 mid-build followed by a restart converges
+	// to byte-identical artifacts. dist.Checkpointed can share the same
+	// journal to resume sharded builds. The caller keeps ownership (Close).
+	Journal *journal.Journal
 }
 
 // JobState is the lifecycle state of a job.
@@ -174,6 +182,8 @@ type Server struct {
 	rseq          atomic.Int64
 	rtotals       replayTotals
 
+	journal *journal.Journal
+
 	seq         atomic.Int64
 	running     atomic.Int64
 	submitted   atomic.Int64
@@ -185,6 +195,8 @@ type Server struct {
 	misses      atomic.Int64 // submits that had to generate
 	retries     atomic.Int64 // job re-attempts after transient build failures
 	bytesServed atomic.Int64
+	resumed     atomic.Int64 // jobs re-enqueued from the journal at startup
+	journalErrs atomic.Int64 // journal appends/replays that failed
 
 	// buildArtifact is swappable so admission-control tests can hold jobs
 	// in "running" deterministically; production builds on a per-job
@@ -252,6 +264,10 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.Journal != nil {
+		s.journal = cfg.Journal
+		s.resumeFromJournal()
 	}
 	return s, nil
 }
@@ -351,8 +367,17 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		s.failed.Add(1)
 	}
+	final := j.state
 	j.mu.Unlock()
 	s.finishInflight(j)
+	switch final {
+	case StateDone:
+		s.journalAppend(journalJobDone, j.artifact, nil)
+	case StateCanceled:
+		s.journalAppend(journalJobCanceled, j.artifact, nil)
+	default:
+		s.journalAppend(journalJobFailed, j.artifact, nil)
+	}
 }
 
 // finishInflight clears the single-flight slot once a job reaches a
@@ -437,6 +462,14 @@ func (s *Server) Submit(spec *Spec) (JobStatus, error) {
 		s.inflight[artifact] = j
 		s.mu.Unlock()
 		s.misses.Add(1)
+		// Durably record the acceptance before acking the client: if the
+		// process dies from here on, restart replays the spec and re-runs
+		// the job to the same content-addressed bytes.
+		if specJSON, err := json.Marshal(j.spec); err == nil {
+			s.journalAppend(journalJobAccepted, artifact, specJSON)
+		} else {
+			s.journalErrs.Add(1)
+		}
 		return j.status(), nil
 	default:
 		s.mu.Unlock()
@@ -475,6 +508,7 @@ func (s *Server) CancelJob(id string) bool {
 		// Release the single-flight slot now — a resubmit of the same spec
 		// must start a fresh job, not coalesce onto this dead one.
 		s.finishInflight(j)
+		s.journalAppend(journalJobCanceled, j.artifact, nil)
 	}
 	if cancel != nil {
 		cancel() // running jobs stop between engine tasks

@@ -22,6 +22,10 @@
 //	csbd -role coordinator -addr :8080 -dist-addr :9444 -min-workers 2
 //	csbd -role worker -join localhost:9444 -name w1
 //
+// Workers also execute evaluation-grid cells: point them at a csbeval
+// coordinator (csbeval -listen) to shard an experiment grid — see
+// cmd/csbeval.
+//
 // Durability (-journal): job lifecycle and coordinator stage checkpoints are
 // appended to a CRC-checksummed write-ahead log; on restart the daemon
 // re-enqueues jobs that were accepted but not finished, and a checkpointed
@@ -49,6 +53,7 @@ import (
 	"csb/internal/chaosnet"
 	"csb/internal/cluster"
 	"csb/internal/dist"
+	_ "csb/internal/eval" // register the eval/cell task kind so -role worker can shard csbeval grids
 	"csb/internal/journal"
 	"csb/internal/serve"
 )

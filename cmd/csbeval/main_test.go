@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"csb/internal/dist"
+)
+
+// writeTinySpec commits a 1-cell grid to disk: the smallest spec that
+// exercises the full cell pipeline (generation, fidelity, utility).
+func writeTinySpec(t *testing.T) string {
+	t.Helper()
+	spec := `{
+  "name": "cli-tiny",
+  "seed_hosts": 40,
+  "seed_sessions": 600,
+  "generators": [{"name": "pgsk"}],
+  "sizes": [5000],
+  "utility": {"heldout_hosts": 40, "heldout_sessions": 600}
+}
+`
+	path := filepath.Join(t.TempDir(), "experiments.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readOnlyCSV(t *testing.T, outDir string) []byte {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(outDir, "*", "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("found %d results.csv under %s, want 1", len(matches), outDir)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRunLocalDeterministic(t *testing.T) {
+	spec := writeTinySpec(t)
+	out1 := filepath.Join(t.TempDir(), "runs")
+	out2 := filepath.Join(t.TempDir(), "runs")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", out1, "-q"}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", spec, "-out", out2, "-q"}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	a, b := readOnlyCSV(t, out1), readOnlyCSV(t, out2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two runs of the same spec differ:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.HasPrefix(a, []byte("generator,")) {
+		t.Fatalf("unexpected CSV header: %q", a[:min(len(a), 80)])
+	}
+}
+
+func TestRunMissingSpec(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-spec", filepath.Join(t.TempDir(), "nope.json")}, &buf, nil)
+	if err == nil {
+		t.Fatal("missing spec succeeded")
+	}
+}
+
+// TestRunDistSharded runs csbeval as a coordinator with two in-process dist
+// workers and checks the sharded CSV matches a plain local run byte for
+// byte.
+func TestRunDistSharded(t *testing.T) {
+	spec := writeTinySpec(t)
+	localOut := filepath.Join(t.TempDir(), "runs")
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", spec, "-out", localOut, "-q"}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	distOut := filepath.Join(t.TempDir(), "runs")
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-spec", spec, "-out", distOut, "-q",
+			"-listen", "127.0.0.1:0", "-min-workers", "2", "-wait-workers", "30s",
+		}, &buf, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("coordinator exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never reported ready")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator:       addr,
+			Name:              fmt.Sprintf("cliw%d", i),
+			HeartbeatInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(ctx)
+		}()
+	}
+	defer func() {
+		cancel()
+		<-done
+		<-done
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("dist run did not finish")
+	}
+	a, b := readOnlyCSV(t, localOut), readOnlyCSV(t, distOut)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dist-sharded CSV differs from local CSV:\n%s\nvs\n%s", a, b)
+	}
+}

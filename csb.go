@@ -30,6 +30,7 @@ import (
 	"csb/internal/attack"
 	"csb/internal/cluster"
 	"csb/internal/core"
+	"csb/internal/eval"
 	"csb/internal/genmodels"
 	"csb/internal/graph"
 	"csb/internal/graphalgo"
@@ -373,4 +374,52 @@ func ClusteringCoefficients(g *Graph) (avgLocal, global float64) {
 // Detect).
 func DetectDirect(g *Graph, t Thresholds) []Alert {
 	return ids.NewDetector(t).DetectGraphDirect(g)
+}
+
+// Evaluation harness (internal/eval) re-exports: the per-cell metric suite
+// behind cmd/csbeval, usable directly for one-off studies.
+type (
+	// EvalReport is the full fidelity report of one synthetic graph against
+	// its seed: per-attribute distribution distances (JS, EMD, KS), veracity
+	// scores, graph-structure statistics and PageRank profile correlation.
+	EvalReport = eval.Report
+	// EvalOptions tunes Evaluate (PageRank profile resolution).
+	EvalOptions = eval.Options
+	// AttrDistance is one attribute's distance triple (JS, EMD, KS).
+	AttrDistance = eval.AttrDistance
+	// UtilityReport scores detector-tuning transfer: thresholds tuned on
+	// synthetic data, graded on a held-out seed-derived scenario.
+	UtilityReport = eval.UtilityReport
+	// UtilityConfig parameterizes the utility metric.
+	UtilityConfig = eval.UtilityConfig
+	// EvalGridSpec is the experiments.json schema of cmd/csbeval.
+	EvalGridSpec = eval.GridSpec
+)
+
+// EvaluateFidelity computes the full metric suite of a synthetic graph
+// against its seed graph. The zero EvalOptions selects the defaults.
+func EvaluateFidelity(seed, synthetic *Graph, opts EvalOptions) (*EvalReport, error) {
+	return eval.Evaluate(seed, synthetic, opts)
+}
+
+// EvaluateUtility computes the utility metric of a synthetic graph: tune the
+// detector on the graph's flows (attacks injected per cfg), then score the
+// tuned thresholds on the held-out scenario. A zero cfg selects the
+// defaults.
+func EvaluateUtility(g *Graph, cfg UtilityConfig, tuneSeed uint64) (*UtilityReport, error) {
+	if err := eval.NormalizeUtility(&cfg); err != nil {
+		return nil, err
+	}
+	return eval.Utility(g, &cfg, tuneSeed)
+}
+
+// DegreeAssortativity computes the Pearson degree correlation over the
+// endpoints of g's undirected simple view (Newman's r); NaN when degenerate.
+func DegreeAssortativity(g *Graph) float64 {
+	return graphalgo.DegreeAssortativity(g)
+}
+
+// Triangles counts the distinct triangles of g's undirected simple view.
+func Triangles(g *Graph) int64 {
+	return graphalgo.Triangles(g)
 }

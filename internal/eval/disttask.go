@@ -1,0 +1,11 @@
+package eval
+
+import "csb/internal/dist/task"
+
+// CellTaskKind is the remote task kind of one grid cell. Any process that
+// links this package — csbeval itself, or a csbd worker (cmd/csbd imports
+// eval for exactly this) — can execute grid cells, which is what lets the
+// runner shard a grid across dist workers.
+const CellTaskKind = "eval/cell"
+
+func init() { task.Register(CellTaskKind, RunCellBytes) }

@@ -1,0 +1,68 @@
+package graphalgo
+
+import (
+	"math"
+	"testing"
+
+	"csb/internal/graph"
+)
+
+// star builds a hub with n leaves.
+func star(n int64) *graph.Graph {
+	g := graph.New(n + 1)
+	for i := int64(1); i <= n; i++ {
+		g.AddEdge(graph.Edge{Src: 0, Dst: graph.VertexID(i)})
+	}
+	return g
+}
+
+func TestDegreeAssortativityStar(t *testing.T) {
+	// A star is perfectly disassortative: every edge joins the degree-n hub
+	// to a degree-1 leaf.
+	r := DegreeAssortativity(star(6))
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("star assortativity = %g, want -1", r)
+	}
+}
+
+func TestDegreeAssortativityCycle(t *testing.T) {
+	// Every vertex of a cycle has degree 2, so the endpoint degrees carry
+	// no variance and the coefficient is undefined.
+	g := graph.New(5)
+	for i := int64(0); i < 5; i++ {
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % 5)})
+	}
+	if r := DegreeAssortativity(g); !math.IsNaN(r) {
+		t.Fatalf("cycle assortativity = %g, want NaN", r)
+	}
+	if r := DegreeAssortativity(graph.New(3)); !math.IsNaN(r) {
+		t.Fatalf("empty-edge assortativity = %g, want NaN", r)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	if n := Triangles(star(5)); n != 0 {
+		t.Fatalf("star triangles = %d, want 0", n)
+	}
+
+	// K4 has exactly 4 triangles; direction, duplicate edges and self-loops
+	// must not matter.
+	g := graph.New(4)
+	for i := int64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(graph.Edge{Src: graph.VertexID(j), Dst: graph.VertexID(i)}) // reversed
+		}
+	}
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1}) // duplicate
+	g.AddEdge(graph.Edge{Src: 2, Dst: 2}) // self-loop
+	if n := Triangles(g); n != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", n)
+	}
+
+	// The triangle count and the transitivity must agree:
+	// global = 3*triangles / open triads.
+	_, global := ClusteringCoefficients(g)
+	if math.Abs(global-1) > 1e-12 {
+		t.Fatalf("K4 transitivity = %g, want 1", global)
+	}
+}

@@ -32,9 +32,22 @@ func Compile(sp *Spec, c *cluster.Cluster) (*attack.Scenario, error) {
 		return nil, err
 	}
 	sc := attack.NewScenario(bg)
-	for i := range sp.Attacks {
-		a := &sp.Attacks[i]
-		rng := rand.New(rand.NewPCG(sp.Seed, a.Seed))
+	if err := ApplyAttacks(sc, sp.Seed, sp.Attacks); err != nil {
+		return nil, err
+	}
+	sc.Finish()
+	return sc, nil
+}
+
+// ApplyAttacks injects every normalized attack into sc, each on its own RNG
+// stream derived from (specSeed, attack seed) — the injection half of
+// Compile, exported so the eval harness can mix the same attack list into a
+// background it generated itself (a grid cell's synthetic flows). The
+// caller must call sc.Finish() after the last injection.
+func ApplyAttacks(sc *attack.Scenario, specSeed uint64, attacks []Attack) error {
+	for i := range attacks {
+		a := &attacks[i]
+		rng := rand.New(rand.NewPCG(specSeed, a.Seed))
 		ts := TimelineBase + a.StartMS*1000
 		switch a.Type {
 		case TypeHostScan:
@@ -46,17 +59,16 @@ func Compile(sp *Spec, c *cluster.Cluster) (*attack.Scenario, error) {
 		case TypeFlood:
 			proto, err := floodProto(a.Proto)
 			if err != nil {
-				return nil, fmt.Errorf("scenario: attack %d: %w", i, err)
+				return fmt.Errorf("scenario: attack %d: %w", i, err)
 			}
 			sc.InjectFlood(rng, a.Attacker, a.Victim, proto, a.Count, ts)
 		case TypeDDoS:
 			sc.InjectDDoS(rng, a.Victim, a.Count, a.FlowsPerSource, ts)
 		default:
-			return nil, fmt.Errorf("scenario: attack %d: unknown type %q (spec not normalized?)", i, a.Type)
+			return fmt.Errorf("scenario: attack %d: unknown type %q (spec not normalized?)", i, a.Type)
 		}
 	}
-	sc.Finish()
-	return sc, nil
+	return nil
 }
 
 // background builds the benign flow set of the spec's background source.
@@ -91,13 +103,22 @@ func background(sp *Spec, c *cluster.Cluster) ([]netflow.Flow, error) {
 		return nil, fmt.Errorf("scenario: generating background: %w", err)
 	}
 	out := netflow.FlowsFromGraph(g)
-	for i := range out {
-		duration := out[i].EndMicros // pre-timeline EndMicros is the duration
+	SyntheticTimeline(out, b.GapMicros)
+	return out, nil
+}
+
+// SyntheticTimeline anchors timeline-free flows (graph projections emit
+// StartMicros 0, which neither the replay pacer nor the windowed detector
+// can use) on the scenario clock: flow i starts at TimelineBase + i*gap,
+// keeping its projected duration (a pre-timeline EndMicros, clamped to at
+// least 1ms).
+func SyntheticTimeline(flows []netflow.Flow, gapMicros int64) {
+	for i := range flows {
+		duration := flows[i].EndMicros // pre-timeline EndMicros is the duration
 		if duration <= 0 {
 			duration = 1000
 		}
-		out[i].StartMicros = TimelineBase + int64(i)*b.GapMicros
-		out[i].EndMicros = out[i].StartMicros + duration
+		flows[i].StartMicros = TimelineBase + int64(i)*gapMicros
+		flows[i].EndMicros = flows[i].StartMicros + duration
 	}
-	return out, nil
 }

@@ -215,14 +215,22 @@ func DegreeDistribution(degrees []int64) (*Discrete, error) {
 
 // Normalize divides each element of xs by the sum of all elements, returning
 // the normalized vector. This is the normalization used by the paper for
-// degree and PageRank distributions prior to veracity scoring. It returns an
-// error when the sum is zero or not finite.
+// degree and PageRank distributions prior to veracity scoring. An empty
+// input reports ErrEmptyVector, an all-zero input ErrZeroVector, and a
+// non-finite sum a plain error; all are returned (never panicked) so grid
+// evaluation can classify malformed cells.
 func Normalize(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: cannot normalize", ErrEmptyVector)
+	}
 	var sum float64
 	for _, x := range xs {
 		sum += x
 	}
-	if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+	if sum == 0 {
+		return nil, fmt.Errorf("%w: cannot normalize", ErrZeroVector)
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
 		return nil, fmt.Errorf("stats: cannot normalize, sum = %v", sum)
 	}
 	out := make([]float64, len(xs))

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the distribution-distance metrics of the evaluation
+// harness (internal/eval). KSDistance (veracity.go) compares empirical
+// CDFs; JSDivergence and EMDistance below complete the suite: JS is a
+// bounded symmetric divergence of the probability mass functions (sensitive
+// to support mismatch), EMD is the first Wasserstein distance (sensitive to
+// how far mass moved, in the attribute's own units). All three operate on
+// raw int64 samples, the form every attribute marginal (degree, flow size,
+// duration, port, protocol) takes in this repo.
+
+// pmfOnMergedSupport builds the two empirical probability mass functions
+// aligned on the union of the sample supports, returned with the merged
+// support values in ascending order.
+func pmfOnMergedSupport(a, b []int64) (support []int64, pa, pb []float64) {
+	ca := make(map[int64]int64, 64)
+	for _, v := range a {
+		ca[v]++
+	}
+	cb := make(map[int64]int64, 64)
+	for _, v := range b {
+		cb[v]++
+	}
+	seen := make(map[int64]struct{}, len(ca)+len(cb))
+	for v := range ca {
+		seen[v] = struct{}{}
+	}
+	for v := range cb {
+		seen[v] = struct{}{}
+	}
+	support = make([]int64, 0, len(seen))
+	for v := range seen {
+		support = append(support, v)
+	}
+	sort.Slice(support, func(i, j int) bool { return support[i] < support[j] })
+	pa = make([]float64, len(support))
+	pb = make([]float64, len(support))
+	na, nb := float64(len(a)), float64(len(b))
+	for i, v := range support {
+		pa[i] = float64(ca[v]) / na
+		pb[i] = float64(cb[v]) / nb
+	}
+	return support, pa, pb
+}
+
+// JSDivergence returns the Jensen-Shannon divergence (base-2 logarithm, so
+// the value lies in [0, 1]) between the empirical distributions of two
+// sample sets. Either set being empty reports ErrEmptyVector.
+func JSDivergence(a, b []int64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmptyVector
+	}
+	_, pa, pb := pmfOnMergedSupport(a, b)
+	var js float64
+	for i := range pa {
+		m := (pa[i] + pb[i]) / 2
+		if pa[i] > 0 {
+			js += pa[i] / 2 * math.Log2(pa[i]/m)
+		}
+		if pb[i] > 0 {
+			js += pb[i] / 2 * math.Log2(pb[i]/m)
+		}
+	}
+	// Clamp the floating-point tail: the divergence is non-negative and at
+	// most 1 bit by construction.
+	if js < 0 {
+		js = 0
+	}
+	if js > 1 {
+		js = 1
+	}
+	return js, nil
+}
+
+// EMDistance returns the earth-mover's (first Wasserstein) distance between
+// the empirical distributions of two sample sets: the integral of the
+// absolute CDF difference over the merged support, in the units of the
+// attribute itself. Either set being empty reports ErrEmptyVector.
+func EMDistance(a, b []int64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmptyVector
+	}
+	support, pa, pb := pmfOnMergedSupport(a, b)
+	var emd, cdfDiff float64
+	for i := 0; i < len(support)-1; i++ {
+		cdfDiff += pa[i] - pb[i]
+		emd += math.Abs(cdfDiff) * float64(support[i+1]-support[i])
+	}
+	return emd, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// vectors. Unequal lengths report ErrLengthMismatch; fewer than two points
+// or a zero-variance vector report ErrZeroVector (the coefficient is
+// undefined there).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrZeroVector
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrZeroVector
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

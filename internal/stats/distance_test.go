@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestJSDivergence(t *testing.T) {
+	same := []int64{1, 1, 2, 3, 3, 3}
+	d, err := JSDivergence(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("JS of identical samples = %g, want 0", d)
+	}
+
+	// Disjoint supports give the maximum divergence of 1 bit.
+	d, err = JSDivergence([]int64{1, 1, 2}, []int64{7, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("JS of disjoint samples = %g, want 1", d)
+	}
+
+	// Symmetry.
+	a := []int64{1, 2, 2, 3, 5, 8}
+	b := []int64{2, 3, 3, 4}
+	ab, _ := JSDivergence(a, b)
+	ba, _ := JSDivergence(b, a)
+	if math.Abs(ab-ba) > 1e-15 {
+		t.Fatalf("JS not symmetric: %g vs %g", ab, ba)
+	}
+	if ab <= 0 || ab >= 1 {
+		t.Fatalf("JS of overlapping samples = %g, want in (0, 1)", ab)
+	}
+
+	if _, err := JSDivergence(nil, a); !errors.Is(err, ErrEmptyVector) {
+		t.Fatalf("JS(empty) error = %v, want ErrEmptyVector", err)
+	}
+}
+
+func TestEMDistance(t *testing.T) {
+	same := []int64{4, 4, 9}
+	d, err := EMDistance(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("EMD of identical samples = %g, want 0", d)
+	}
+
+	// Point masses at distance 5: all mass moves 5 units.
+	d, err = EMDistance([]int64{0, 0}, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("EMD of shifted point masses = %g, want 5", d)
+	}
+
+	// A uniform shift by c moves every quantile by c.
+	a := []int64{1, 2, 3, 4}
+	b := []int64{4, 5, 6, 7}
+	d, err = EMDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-3) > 1e-12 {
+		t.Fatalf("EMD of +3 shift = %g, want 3", d)
+	}
+
+	ab, _ := EMDistance(a, b)
+	ba, _ := EMDistance(b, a)
+	if math.Abs(ab-ba) > 1e-15 {
+		t.Fatalf("EMD not symmetric: %g vs %g", ab, ba)
+	}
+
+	if _, err := EMDistance(a, nil); !errors.Is(err, ErrEmptyVector) {
+		t.Fatalf("EMD(empty) error = %v, want ErrEmptyVector", err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson of affine pair = %g, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson of anti-affine pair = %g, want -1", r)
+	}
+	if _, err := Pearson(x, []float64{1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("Pearson mismatch error = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); !errors.Is(err, ErrZeroVector) {
+		t.Fatalf("Pearson constant-vector error = %v, want ErrZeroVector", err)
+	}
+}
+
+// TestDistancesDeterministic locks the distances down as pure functions of
+// the sample multisets: shuffling the inputs must not change any result
+// bit, which is what lets grid cells compute them on any worker.
+func TestDistancesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := make([]int64, 500)
+	b := make([]int64, 300)
+	for i := range a {
+		a[i] = rng.Int64N(40)
+	}
+	for i := range b {
+		b[i] = rng.Int64N(40) + 10
+	}
+	js0, _ := JSDivergence(a, b)
+	emd0, _ := EMDistance(a, b)
+	for trial := 0; trial < 3; trial++ {
+		rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		if js, _ := JSDivergence(a, b); js != js0 {
+			t.Fatalf("JS changed under shuffle: %v vs %v", js, js0)
+		}
+		if emd, _ := EMDistance(a, b); emd != emd0 {
+			t.Fatalf("EMD changed under shuffle: %v vs %v", emd, emd0)
+		}
+	}
+}

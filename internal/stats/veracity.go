@@ -1,8 +1,21 @@
 package stats
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
+)
+
+// Typed vector errors. Normalize (and therefore VeracityScore) reports
+// ErrEmptyVector on a zero-length input and ErrZeroVector when every element
+// is zero; EuclideanDistance reports ErrLengthMismatch instead of panicking.
+// The eval grid runner matches on these with errors.Is to classify a
+// malformed cell without crashing the whole run.
+var (
+	ErrEmptyVector    = errors.New("stats: empty vector")
+	ErrZeroVector     = errors.New("stats: all-zero vector")
+	ErrLengthMismatch = errors.New("stats: vector length mismatch")
 )
 
 // VeracityScore computes the veracity of a synthetic dataset with respect to
@@ -65,18 +78,19 @@ func VeracityScoreInt(seed, synthetic []int64) (float64, error) {
 }
 
 // EuclideanDistance returns the plain Euclidean distance between two equal-
-// length vectors. It is the building block of the veracity score and is used
-// directly by tests.
-func EuclideanDistance(a, b []float64) float64 {
+// length vectors. It is the building block of the veracity score. Unequal
+// lengths report ErrLengthMismatch (it used to panic, which let one
+// malformed grid cell take down an entire evaluation run).
+func EuclideanDistance(a, b []float64) (float64, error) {
 	if len(a) != len(b) {
-		panic("stats: EuclideanDistance length mismatch")
+		return 0, fmt.Errorf("%w: %d vs %d elements", ErrLengthMismatch, len(a), len(b))
 	}
 	var sum float64
 	for i := range a {
 		d := a[i] - b[i]
 		sum += d * d
 	}
-	return math.Sqrt(sum)
+	return math.Sqrt(sum), nil
 }
 
 // KSDistance returns the Kolmogorov-Smirnov statistic between the empirical

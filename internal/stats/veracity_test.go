@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -87,15 +88,31 @@ func TestVeracityScoreInt(t *testing.T) {
 }
 
 func TestEuclideanDistance(t *testing.T) {
-	if d := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+	d, err := EuclideanDistance([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-5) > 1e-12 {
 		t.Fatalf("EuclideanDistance = %g, want 5", d)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch did not panic")
-		}
-	}()
-	EuclideanDistance([]float64{1}, []float64{1, 2})
+	if _, err := EuclideanDistance([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length mismatch error = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestNormalizeTypedErrors(t *testing.T) {
+	if _, err := Normalize(nil); !errors.Is(err, ErrEmptyVector) {
+		t.Fatalf("Normalize(nil) error = %v, want ErrEmptyVector", err)
+	}
+	if _, err := Normalize([]float64{0, 0, 0}); !errors.Is(err, ErrZeroVector) {
+		t.Fatalf("Normalize(zeros) error = %v, want ErrZeroVector", err)
+	}
+	if _, err := VeracityScore(nil, []float64{1}); !errors.Is(err, ErrEmptyVector) {
+		t.Fatalf("VeracityScore(empty seed) error = %v, want ErrEmptyVector", err)
+	}
+	if _, err := VeracityScore([]float64{1}, []float64{0}); !errors.Is(err, ErrZeroVector) {
+		t.Fatalf("VeracityScore(zero synthetic) error = %v, want ErrZeroVector", err)
+	}
 }
 
 func TestKSDistance(t *testing.T) {

@@ -312,7 +312,7 @@ func BenchmarkAblationPropertySynthesis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	edges := g.Edges()
+	edges := g.EdgeSlice()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -52,7 +52,7 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		jsonMode  = flag.Bool("json", false, "run the hot-path benchmark suite and write a machine-readable JSON report")
-		jsonOut   = flag.String("json-out", "BENCH_PR7.json", "output path for the -json benchmark report")
+		jsonOut   = flag.String("json-out", "BENCH_PR10.json", "output path for the -json benchmark report")
 	)
 	flag.Parse()
 

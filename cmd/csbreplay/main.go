@@ -67,6 +67,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		burst      = fs.Int("burst", 0, "token-bucket burst for -rate (0 = default)")
 		policyStr  = fs.String("policy", "block", "lag policy: block, drop or disconnect")
 		queueLen   = fs.Int("queue", 0, "per-subscriber queue bound in frames (0 = default)")
+		batchLen   = fs.Int("batch", 0, "max flows per stream frame (0 = default, 1 = v1 single-flow frames)")
 		waitSubs   = fs.Int("wait", 0, "hold the clock until this many subscribers connect")
 		waitFor    = fs.Duration("wait-timeout", 60*time.Second, "bound on -wait (start anyway after)")
 		flowsOut   = fs.String("flows-out", "", "write the loaded flows as a CSBF artifact")
@@ -138,7 +139,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 
 	srv, err := replay.NewServer(flows, replay.Options{
 		Speed: *speed, Rate: *rate, Burst: *burst,
-		Policy: policy, QueueLen: *queueLen, ArtifactSHA: sha,
+		Policy: policy, QueueLen: *queueLen, BatchLen: *batchLen, ArtifactSHA: sha,
 	})
 	if err != nil {
 		return err

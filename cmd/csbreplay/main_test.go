@@ -180,6 +180,91 @@ func TestConsumeReconnectResumesSequence(t *testing.T) {
 	}
 }
 
+// encodeBatchStream is encodeStream with batch framing: frames carry up to
+// batchLen flows each.
+func encodeBatchStream(flows []netflow.Flow, batchLen int) []byte {
+	var buf bytes.Buffer
+	hdr := replay.EncodeHeader(replay.Header{ArtifactSHA: [32]byte{1: 0xcb}, Flows: uint64(len(flows))})
+	buf.Write(hdr[:])
+	var crc uint32
+	writeFrame := func(seq uint64, payload []byte) {
+		var pre [12]byte
+		binary.BigEndian.PutUint32(pre[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint64(pre[4:12], seq)
+		buf.Write(pre[:])
+		buf.Write(payload)
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		var sum [4]byte
+		binary.BigEndian.PutUint32(sum[:], crc)
+		buf.Write(sum[:])
+	}
+	for i := 0; i < len(flows); i += batchLen {
+		j := i + batchLen
+		if j > len(flows) {
+			j = len(flows)
+		}
+		writeFrame(uint64(i), replay.EncodeFlows(flows[i:j]))
+	}
+	writeFrame(uint64(len(flows)), nil)
+	return buf.Bytes()
+}
+
+// TestConsumeReconnectResumesAcrossBatchBoundary tears a v1-framed stream
+// after six flows, then replays the run with 4-flow batch frames: the resume
+// point (seq 5) falls inside the second batch, so the consumer must discard
+// the already-delivered records of that batch and keep the rest. The raw
+// output must still be byte-identical to an uninterrupted run.
+func TestConsumeReconnectResumesAcrossBatchBoundary(t *testing.T) {
+	_, flows := writeTestCSV(t)
+	if len(flows) < 12 {
+		t.Fatalf("trace too small: %d flows", len(flows))
+	}
+	v1 := encodeStream(flows)
+	const frameLen = replay.FlowRecordLen + 16 // len + seq + record + crc
+	cut := replay.HeaderLen + 6*frameLen + 7   // mid-seventh-frame tear: flows 0..5 delivered
+	batched := encodeBatchStream(flows, 4)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for _, script := range [][]byte{v1[:cut], batched} {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Write(script)
+			c.Close()
+		}
+	}()
+
+	rawPath := filepath.Join(t.TempDir(), "raw.bin")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-consume", ln.Addr().String(), "-reconnect", "3", "-raw-out", rawPath,
+	}, &out, nil, nil); err != nil {
+		t.Fatalf("consume: %v\n%s", err, out.String())
+	}
+	got, err := os.ReadFile(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := replay.EncodeFlows(flows); !bytes.Equal(got, want) {
+		t.Fatalf("resumed payload %d bytes != uninterrupted run %d bytes", len(got), len(want))
+	}
+	for _, needle := range []string{
+		"stream torn at seq 5",
+		"clean=true",
+		fmt.Sprintf("consumed %d/%d flows", len(flows), len(flows)),
+	} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("output missing %q:\n%s", needle, out.String())
+		}
+	}
+}
+
 // TestConsumeReconnectBudgetExhausts: a server that tears every session
 // without ever delivering a flow burns the whole budget and the consumer
 // fails instead of redialing forever.

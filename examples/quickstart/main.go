@@ -59,7 +59,7 @@ func main() {
 	}
 
 	// Every synthetic edge carries complete Netflow attributes.
-	e := synBA.Edges()[0]
+	e := synBA.EdgeSlice()[0]
 	fmt.Printf("sample edge: %d->%d %s dport=%d dur=%dms out=%dB in=%dB state=%s\n",
 		e.Src, e.Dst, e.Props.Protocol, e.Props.DstPort,
 		e.Props.Duration, e.Props.OutBytes, e.Props.InBytes, e.Props.State)

@@ -94,9 +94,15 @@ func EdgeListGrow(seed *graph.Graph, cfg GrowConfig) (*graph.Graph, error) {
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xba11))
 	g := seed.Clone()
+	// The round's new edges accumulate in a pooled columnar batch: sampling
+	// reads only the two endpoint columns of the graph's store, and the batch
+	// is appended column-wise — no per-round []Edge materialization.
+	nb := graph.GetBatch(0)
+	defer graph.PutBatch(nb)
 	for g.NumEdges() < cfg.TargetEdges {
-		edges := g.Edges()
-		k := int64(cfg.Fraction * float64(len(edges)))
+		cols := g.Cols()
+		n := cols.Len()
+		k := int64(cfg.Fraction * float64(n))
 		if k < 1 {
 			k = 1
 		}
@@ -104,20 +110,21 @@ func EdgeListGrow(seed *graph.Graph, cfg GrowConfig) (*graph.Graph, error) {
 			k = (rem + int64(cfg.OutPerVertex) - 1) / int64(cfg.OutPerVertex)
 		}
 		first := g.AddVertices(k)
-		newEdges := make([]graph.Edge, 0, k*int64(cfg.OutPerVertex))
+		nb.Reset()
+		nb.Grow(int(k) * cfg.OutPerVertex)
 		for i := int64(0); i < k; i++ {
 			// Stage 1: uniform edge sample; stage 2: random endpoint.
-			e := edges[rng.IntN(len(edges))]
-			dest := e.Src
+			s := rng.IntN(n)
+			dest := cols.SrcID(s)
 			if rng.IntN(2) == 1 {
-				dest = e.Dst
+				dest = cols.DstID(s)
 			}
 			nv := first + graph.VertexID(i)
 			for j := 0; j < cfg.OutPerVertex; j++ {
-				newEdges = append(newEdges, graph.Edge{Src: nv, Dst: dest})
+				nb.Append(graph.Edge{Src: nv, Dst: dest})
 			}
 		}
-		if err := g.AddEdges(newEdges); err != nil {
+		if err := g.AppendBatch(nb); err != nil {
 			return nil, err
 		}
 	}

@@ -40,8 +40,8 @@ func TestClassicDeterministic(t *testing.T) {
 	if a.NumEdges() != b.NumEdges() {
 		t.Fatal("edge counts differ")
 	}
-	for i := range a.Edges() {
-		if a.Edges()[i] != b.Edges()[i] {
+	for i := range a.EdgeSlice() {
+		if a.EdgeSlice()[i] != b.EdgeSlice()[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -70,7 +70,7 @@ func TestClassicDistinctTargets(t *testing.T) {
 		t.Fatal(err)
 	}
 	perSrc := map[graph.VertexID]map[graph.VertexID]int{}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		if perSrc[e.Src] == nil {
 			perSrc[e.Src] = map[graph.VertexID]int{}
 		}

@@ -38,12 +38,13 @@ type FourVs struct {
 
 // attrSamplesOf extracts the Variety sample vectors from a graph's edges.
 func attrSamplesOf(g *graph.Graph) (protoState, dstPorts []int64) {
-	edges := g.Edges()
-	protoState = make([]int64, len(edges))
-	dstPorts = make([]int64, len(edges))
-	for i := range edges {
-		protoState[i] = int64(edges[i].Props.Protocol)<<8 | int64(edges[i].Props.State)
-		dstPorts[i] = int64(edges[i].Props.DstPort)
+	cols := g.Cols()
+	n := cols.Len()
+	protoState = make([]int64, n)
+	dstPorts = make([]int64, n)
+	for i := 0; i < n; i++ {
+		protoState[i] = int64(cols.Protocol(i))<<8 | int64(cols.State(i))
+		dstPorts[i] = int64(cols.DstPort(i))
 	}
 	return protoState, dstPorts
 }

@@ -9,6 +9,7 @@ import (
 	"csb/internal/core"
 	"csb/internal/netflow"
 	"csb/internal/pcap"
+	"csb/internal/replay"
 )
 
 // HotpathSchema versions the machine-readable benchmark report so CI
@@ -35,12 +36,14 @@ type HotpathResult struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// HotpathReport is the full machine-readable suite output (BENCH_PR6.json).
-// NumCPU records the machine's core count and GOMAXPROCS the parallelism the
-// suite actually ran at — they differ under taskset/cgroup limits or an
-// explicit GOMAXPROCS, and comparing reports recorded at different
-// parallelism is how single-core baselines (BENCH_PR5 was num_cpu=1) stop
-// hiding parallel speedups.
+// HotpathReport is the full machine-readable suite output (the BENCH_PR*.json
+// baselines). NumCPU records the machine's core count and GOMAXPROCS the
+// parallelism the suite actually ran at — they differ under taskset/cgroup
+// limits or an explicit GOMAXPROCS, and comparing reports recorded at
+// different parallelism is how single-core baselines (BENCH_PR5 was
+// num_cpu=1) stop hiding parallel speedups. Both are sampled after the cases
+// execute, so the recorded values are the ones the measurements saw even if
+// the environment adjusted them mid-process.
 type HotpathReport struct {
 	Schema     string `json:"schema"`
 	GoVersion  string `json:"go_version"`
@@ -94,8 +97,16 @@ func Hotpath(seed *core.Seed, rngSeed uint64) (*HotpathReport, error) {
 		rbkData[i] = int(s % rbkKeys)
 	}
 
+	// The columnar-scan input: one generated graph, built once, scanned
+	// in-place each op.
+	scanGraph, err := (&core.PGPBA{Fraction: 0.3, Seed: rngSeed, Cluster: cluster.Local(0)}).Generate(seed, genEdges)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generating columnar-scan input: %w", err)
+	}
+
 	var runErr error
-	var genItems, asmItems, fanItems int64
+	var genItems, asmItems, fanItems, batchFanItems int64
+	var scanSink int64
 
 	cases := []hotpathCase{
 		{
@@ -185,17 +196,60 @@ func Hotpath(seed *core.Seed, rngSeed uint64) (*HotpathReport, error) {
 			},
 			items: func() int64 { return fanItems },
 		},
+		{
+			// The same fan-out at the maximum wire batch (replay-fanout-4
+			// runs the DefaultBatchLen the server ships with): the gap
+			// between the two rows is the remaining per-frame cost.
+			name: "replay-batch-fanout",
+			unit: "flows",
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pts, err := ReplayFanoutBatch(fanFlows, []int{4}, replay.MaxBatchFlows)
+					if err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					batchFanItems = int64(pts[0].Flows) * int64(pts[0].Subscribers)
+				}
+			},
+			items: func() int64 { return batchFanItems },
+		},
+		{
+			// Columnar edge-store scan: a structural pass over the 4-byte
+			// endpoint columns and an attribute pass over the byte-count
+			// columns, the access patterns behind degree counting and the
+			// eval marginals. Zero allocs — the scan never materializes Edge
+			// structs.
+			name: "columnar-scan",
+			unit: "edges",
+			run: func(b *testing.B) {
+				cols := scanGraph.Cols()
+				n := cols.Len()
+				for i := 0; i < b.N; i++ {
+					var endpoints, volume int64
+					for j := 0; j < n; j++ {
+						endpoints += int64(cols.SrcID(j)) + int64(cols.DstID(j))
+					}
+					for j := 0; j < n; j++ {
+						volume += cols.OutBytes(j) + cols.InBytes(j)
+					}
+					scanSink = endpoints + volume
+				}
+			},
+			items: func() int64 {
+				_ = scanSink
+				return scanGraph.NumEdges()
+			},
+		},
 	}
 
 	rep := &HotpathReport{
-		Schema:     HotpathSchema,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       rngSeed,
-		Results:    make([]HotpathResult, 0, len(cases)),
+		Schema:    HotpathSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Seed:      rngSeed,
+		Results:   make([]HotpathResult, 0, len(cases)),
 	}
 	for _, hc := range cases {
 		r := testing.Benchmark(func(b *testing.B) {
@@ -221,5 +275,9 @@ func Hotpath(seed *core.Seed, rngSeed uint64) (*HotpathReport, error) {
 		}
 		rep.Results = append(rep.Results, res)
 	}
+	// Stamp the parallelism last: the report must describe the environment
+	// the measurements ran under, not the one the process started with.
+	rep.NumCPU = runtime.NumCPU()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	return rep, nil
 }

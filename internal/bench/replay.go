@@ -26,11 +26,18 @@ type ReplayFanoutPoint struct {
 
 // ReplayFanout measures sustained emission rate versus subscriber count: for
 // each count, one as-fast-as-possible run under the block policy where every
-// subscriber must receive every flow.
+// subscriber must receive every flow. Frames batch at the server default.
 func ReplayFanout(flows []netflow.Flow, counts []int) ([]ReplayFanoutPoint, error) {
+	return ReplayFanoutBatch(flows, counts, 0)
+}
+
+// ReplayFanoutBatch is ReplayFanout with an explicit frame batch length:
+// 0 uses the server default, 1 forces v1 single-flow frames (the pre-batch
+// wire behavior), larger values trade per-frame overhead for latency.
+func ReplayFanoutBatch(flows []netflow.Flow, counts []int, batchLen int) ([]ReplayFanoutPoint, error) {
 	var out []ReplayFanoutPoint
 	for _, n := range counts {
-		srv, err := replay.NewServer(flows, replay.Options{Policy: replay.PolicyBlock})
+		srv, err := replay.NewServer(flows, replay.Options{Policy: replay.PolicyBlock, BatchLen: batchLen})
 		if err != nil {
 			return nil, err
 		}

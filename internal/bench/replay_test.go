@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"csb/internal/netflow"
+	"csb/internal/pcap"
+	"csb/internal/replay"
+)
+
+// fanoutFlows builds the same ~20k-flow dataset the hot-path suite replays.
+func fanoutFlows(t testing.TB) []netflow.Flow {
+	t.Helper()
+	pkts, err := pcap.Synthesize(pcap.DefaultTraceConfig(60, 1500, DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := netflow.Assemble(pkts, 0)
+	if len(flows) == 0 {
+		t.Fatal("no flows assembled")
+	}
+	return TileFlows(flows, 20_000/len(flows)+1)
+}
+
+// BenchmarkReplayBatchFanout measures the 4-subscriber loopback fan-out at
+// the maximum wire batch — the replay-batch-fanout row of the hot-path
+// report, runnable standalone under `go test -bench`.
+func BenchmarkReplayBatchFanout(b *testing.B) {
+	flows := fanoutFlows(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := ReplayFanoutBatch(flows, []int{4}, replay.MaxBatchFlows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].DeliveredMin != uint64(len(flows)) {
+			b.Fatalf("delivered %d of %d flows", pts[0].DeliveredMin, len(flows))
+		}
+	}
+}
+
+// replayFanoutAllocCeiling is the committed allocation budget for the
+// default-batching 4-subscriber fan-out. The measured figure is ~6.8k
+// allocs/op at DefaultBatchLen (down from ~357k with v1 single-flow frames —
+// the BENCH_PR5 baseline); the ceiling leaves ~3x headroom for runtime noise
+// while still failing loudly if per-flow allocations creep back into the
+// frame path.
+const replayFanoutAllocCeiling = 20_000
+
+// TestReplayFanoutAllocCeiling is the alloc-regression guard: the default
+// replay fan-out must stay well under the v1 per-flow allocation regime.
+func TestReplayFanoutAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs full benchmark runs")
+	}
+	flows := fanoutFlows(t)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReplayFanout(flows, []int{4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if got := r.AllocsPerOp(); got > replayFanoutAllocCeiling {
+		t.Fatalf("replay fan-out allocated %d allocs/op, ceiling %d — per-flow allocations crept back into the frame path", got, replayFanoutAllocCeiling)
+	}
+	t.Logf("replay fan-out: %d allocs/op (ceiling %d)", r.AllocsPerOp(), replayFanoutAllocCeiling)
+}

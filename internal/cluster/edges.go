@@ -1,0 +1,56 @@
+package cluster
+
+import "csb/internal/graph"
+
+// This file is the columnar bridge between the graph's struct-of-arrays edge
+// store (graph.EdgeBatch) and the row-structured Dataset engine. Shuffle
+// operators move individual elements and stay generic; the pipeline endpoints
+// — loading a graph's edges into a dataset and draining a dataset back into a
+// graph — stream batch columns instead of materializing one monolithic
+// []Edge on each side.
+
+// ParallelizeEdges splits the edges of a columnar batch into balanced
+// partitions, materializing rows once per partition. The partition boundaries
+// are exactly Parallelize's (base = len/p with the remainder spread over the
+// first len%p partitions), so downstream stages see byte-identical input to
+// the former Parallelize(c, b.Edges(), partitions) — without the intermediate
+// full-graph []Edge copy.
+func ParallelizeEdges(c *Cluster, b *graph.EdgeBatch, partitions int) *Dataset[graph.Edge] {
+	p := c.defaultPartitions(partitions)
+	n := b.Len()
+	if p > n {
+		p = n
+	}
+	if n == 0 {
+		return newDataset(c, make([][]graph.Edge, 0))
+	}
+	parts := make([][]graph.Edge, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := range parts {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		part := make([]graph.Edge, sz)
+		for j := range part {
+			part[j] = b.Edge(lo + j)
+		}
+		parts[i] = part
+		lo += sz
+	}
+	return newDataset(c, parts)
+}
+
+// AppendTo drains an edge dataset into g partition by partition, in Collect
+// order, validating each partition once. It replaces the Collect-then-AddEdges
+// pattern: edges flow straight from partition storage into the graph's
+// columns with no intermediate full-size []Edge.
+func AppendTo(in *Dataset[graph.Edge], g *graph.Graph) error {
+	for i := range in.parts {
+		if err := g.AddEdges(in.parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

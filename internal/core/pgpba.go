@@ -75,8 +75,9 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	}
 	defer c.Scope("pgpba")()
 
-	// G' <- G (line 1).
-	edges := cluster.Parallelize(c, append([]graph.Edge(nil), seed.Graph.Edges()...), 0)
+	// G' <- G (line 1). The seed's columns stream straight into partition
+	// storage; the seed graph is never aliased or copied wholesale.
+	edges := cluster.ParallelizeEdges(c, seed.Graph.Cols(), 0)
 	numVertices := seed.Graph.NumVertices()
 	round := uint64(0)
 
@@ -189,7 +190,7 @@ func (p *PGPBA) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	}
 
 	out := graph.NewWithCapacity(numVertices, edges.Count())
-	if err := out.AddEdges(cluster.Collect(edges)); err != nil {
+	if err := cluster.AppendTo(edges, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -74,8 +74,8 @@ func TestPGPBADeterministic(t *testing.T) {
 	if a.NumEdges() != b.NumEdges() || a.NumVertices() != b.NumVertices() {
 		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
 	}
-	for i := range a.Edges() {
-		if a.Edges()[i] != b.Edges()[i] {
+	for i := range a.EdgeSlice() {
+		if a.EdgeSlice()[i] != b.EdgeSlice()[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -87,7 +87,7 @@ func TestPGPBAAssignsProperties(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, e := range g.Edges() {
+	for i, e := range g.EdgeSlice() {
 		if e.Props.Protocol == graph.ProtoUnknown {
 			t.Fatalf("edge %d has no protocol", i)
 		}
@@ -105,7 +105,7 @@ func TestPGPBASkipProperties(t *testing.T) {
 	}
 	// Grown edges carry zero properties when synthesis is skipped.
 	zero := 0
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		if e.Props == (graph.EdgeProps{}) {
 			zero++
 		}

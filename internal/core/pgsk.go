@@ -105,7 +105,7 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	// distribution, restoring the multigraph nature of Netflow data.
 	outDeg := seed.OutDegree
 	endDup := c.Scope("duplicate")
-	base := cluster.Parallelize(c, append([]graph.Edge(nil), gk.Edges()...), 0)
+	base := cluster.ParallelizeEdges(c, gk.Cols(), 0)
 	edges := cluster.MapPartitions(base, func(part int, es []graph.Edge) []graph.Edge {
 		rng := cluster.DeriveRNG(p.Seed^0xd0b1e, uint64(part))
 		var out []graph.Edge
@@ -131,7 +131,7 @@ func (p *PGSK) Generate(seed *Seed, desiredEdges int64) (*graph.Graph, error) {
 	}
 
 	out := graph.NewWithCapacity(gk.NumVertices(), edges.Count())
-	if err := out.AddEdges(cluster.Collect(edges)); err != nil {
+	if err := cluster.AppendTo(edges, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -67,8 +67,8 @@ func TestPGSKDeterministic(t *testing.T) {
 	if a.NumEdges() != b.NumEdges() {
 		t.Fatalf("sizes differ: %d vs %d", a.NumEdges(), b.NumEdges())
 	}
-	for i := range a.Edges() {
-		if a.Edges()[i] != b.Edges()[i] {
+	for i := range a.EdgeSlice() {
+		if a.EdgeSlice()[i] != b.EdgeSlice()[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -92,7 +92,7 @@ func TestPGSKAssignsProperties(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, e := range g.Edges() {
+	for i, e := range g.EdgeSlice() {
 		if e.Props.Protocol == graph.ProtoUnknown {
 			t.Fatalf("edge %d missing protocol", i)
 		}
@@ -103,7 +103,7 @@ func TestPGSKAssignsProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	zero := 0
-	for _, e := range bare.Edges() {
+	for _, e := range bare.EdgeSlice() {
 		if e.Props == (graph.EdgeProps{}) {
 			zero++
 		}

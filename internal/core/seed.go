@@ -45,7 +45,7 @@ func Analyze(g *graph.Graph) (*Seed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: out-degree analysis: %w", err)
 	}
-	props, err := FitProperties(g.Edges())
+	props, err := FitPropertiesBatch(g.Cols())
 	if err != nil {
 		return nil, fmt.Errorf("core: attribute analysis: %w", err)
 	}
@@ -127,17 +127,29 @@ func (s *attrSamples) fit() (*attrModel, error) {
 	return m, err
 }
 
-// FitProperties estimates the attribute model from the edges of a seed
-// property graph.
+// FitProperties estimates the attribute model from a row-structured edge
+// slice. It is a convenience wrapper over FitPropertiesBatch for callers that
+// already hold []Edge (tests, small fixtures).
 func FitProperties(edges []graph.Edge) (*PropertyModel, error) {
-	if len(edges) == 0 {
+	b := graph.GetBatch(len(edges))
+	defer graph.PutBatch(b)
+	b.AppendEdges(edges)
+	return FitPropertiesBatch(b)
+}
+
+// FitPropertiesBatch estimates the attribute model from the columnar edges of
+// a seed property graph, streaming over the batch without materializing a row
+// slice.
+func FitPropertiesBatch(batch *graph.EdgeBatch) (*PropertyModel, error) {
+	n := batch.Len()
+	if n == 0 {
 		return nil, errors.New("core: no edges to fit properties from")
 	}
-	inBytes := make([]int64, len(edges))
+	inBytes := make([]int64, n)
 	perBucket := make(map[int]*attrSamples)
 	var global attrSamples
-	for i := range edges {
-		e := &edges[i]
+	for i := 0; i < n; i++ {
+		e := batch.Edge(i)
 		inBytes[i] = e.Props.InBytes
 		b := bucketOf(e.Props.InBytes)
 		bs := perBucket[b]
@@ -145,8 +157,8 @@ func FitProperties(edges []graph.Edge) (*PropertyModel, error) {
 			bs = &attrSamples{}
 			perBucket[b] = bs
 		}
-		bs.add(e)
-		global.add(e)
+		bs.add(&e)
+		global.add(&e)
 	}
 	m := &PropertyModel{buckets: make(map[int]*attrModel, len(perBucket))}
 	var err error

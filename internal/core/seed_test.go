@@ -156,7 +156,7 @@ func TestSampleAttributesComeFromSeedSupport(t *testing.T) {
 	s := traceSeed(t, 20, 300, 5)
 	// Collect the seed's observed attribute values.
 	durations := map[int64]bool{}
-	for _, e := range s.Graph.Edges() {
+	for _, e := range s.Graph.EdgeSlice() {
 		durations[e.Props.Duration] = true
 	}
 	rng := rand.New(rand.NewPCG(4, 4))

@@ -114,28 +114,50 @@ type ndjsonEdge struct {
 	State      string `json:"state"`
 }
 
-// NDJSONRows formats edges as newline-delimited JSON objects. json.Marshal
-// plus '\n' is exactly what json.Encoder.Encode emits, so these bytes match
-// the sequential NDJSON writer.
+// appendNDJSONRow appends one edge's NDJSON line to dst. json.Marshal plus
+// '\n' is exactly what json.Encoder.Encode emits, so these bytes match the
+// sequential NDJSON writer. Both NDJSONRows and NDJSONBatch funnel through
+// this single formatter.
+func appendNDJSONRow(dst []byte, e *graph.Edge) ([]byte, error) {
+	rec := ndjsonEdge{
+		Src: int64(e.Src), Dst: int64(e.Dst),
+		Proto:   e.Props.Protocol.String(),
+		SrcPort: e.Props.SrcPort, DstPort: e.Props.DstPort,
+		DurationMS: e.Props.Duration,
+		OutBytes:   e.Props.OutBytes, InBytes: e.Props.InBytes,
+		OutPkts: e.Props.OutPkts, InPkts: e.Props.InPkts,
+		State: e.Props.State.String(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, line...)
+	return append(dst, '\n'), nil
+}
+
+// NDJSONRows formats edges as newline-delimited JSON objects.
 func NDJSONRows(edges []graph.Edge) ([]byte, error) {
 	var out []byte
+	var err error
 	for i := range edges {
-		e := &edges[i]
-		rec := ndjsonEdge{
-			Src: int64(e.Src), Dst: int64(e.Dst),
-			Proto:   e.Props.Protocol.String(),
-			SrcPort: e.Props.SrcPort, DstPort: e.Props.DstPort,
-			DurationMS: e.Props.Duration,
-			OutBytes:   e.Props.OutBytes, InBytes: e.Props.InBytes,
-			OutPkts: e.Props.OutPkts, InPkts: e.Props.InPkts,
-			State: e.Props.State.String(),
-		}
-		line, err := json.Marshal(rec)
-		if err != nil {
+		if out, err = appendNDJSONRow(out, &edges[i]); err != nil {
 			return nil, err
 		}
-		out = append(out, line...)
-		out = append(out, '\n')
+	}
+	return out, nil
+}
+
+// NDJSONBatch formats a columnar edge batch as NDJSON, streaming straight
+// over the columns without materializing a row slice.
+func NDJSONBatch(b *graph.EdgeBatch) ([]byte, error) {
+	var out []byte
+	var err error
+	for i, n := 0, b.Len(); i < n; i++ {
+		e := b.Edge(i)
+		if out, err = appendNDJSONRow(out, &e); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -178,17 +178,17 @@ func marginals(g *graph.Graph) marginalSet {
 			m.degree = append(m.degree, d)
 		}
 	}
-	edges := g.Edges()
-	m.flowSize = make([]int64, len(edges))
-	m.duration = make([]int64, len(edges))
-	m.dstPort = make([]int64, len(edges))
-	m.proto = make([]int64, len(edges))
-	for i := range edges {
-		p := &edges[i].Props
-		m.flowSize[i] = p.OutBytes + p.InBytes
-		m.duration[i] = p.Duration
-		m.dstPort[i] = int64(p.DstPort)
-		m.proto[i] = int64(p.Protocol)
+	cols := g.Cols()
+	n := cols.Len()
+	m.flowSize = make([]int64, n)
+	m.duration = make([]int64, n)
+	m.dstPort = make([]int64, n)
+	m.proto = make([]int64, n)
+	for i := 0; i < n; i++ {
+		m.flowSize[i] = cols.OutBytes(i) + cols.InBytes(i)
+		m.duration[i] = cols.Duration(i)
+		m.dstPort[i] = int64(cols.DstPort(i))
+		m.proto[i] = int64(cols.Protocol(i))
 	}
 	return m
 }

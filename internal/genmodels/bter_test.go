@@ -97,8 +97,8 @@ func TestBTERDeterministic(t *testing.T) {
 	if a.NumEdges() != b.NumEdges() {
 		t.Fatal("sizes differ")
 	}
-	for i := range a.Edges() {
-		if a.Edges()[i] != b.Edges()[i] {
+	for i := range a.EdgeSlice() {
+		if a.EdgeSlice()[i] != b.EdgeSlice()[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}

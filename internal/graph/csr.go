@@ -43,25 +43,22 @@ func BuildReverseCSR(g *Graph) *CSR {
 func buildCSR(g *Graph, reverse bool) *CSR {
 	n := g.numVertices
 	offsets := make([]int64, n+1)
-	edges := g.edges
-	for i := range edges {
-		src := edges[i].Src
-		if reverse {
-			src = edges[i].Dst
-		}
+	// Both passes read only the two 4-byte endpoint columns — the property
+	// columns never enter cache during CSR construction.
+	srcs, dsts := g.cols.src, g.cols.dst
+	if reverse {
+		srcs, dsts = dsts, srcs
+	}
+	for _, src := range srcs {
 		offsets[src+1]++
 	}
 	for v := int64(1); v <= n; v++ {
 		offsets[v] += offsets[v-1]
 	}
-	targets := make([]VertexID, len(edges))
+	targets := make([]VertexID, len(srcs))
 	cursor := make([]int64, n)
-	for i := range edges {
-		src, dst := edges[i].Src, edges[i].Dst
-		if reverse {
-			src, dst = dst, src
-		}
-		targets[offsets[src]+cursor[src]] = dst
+	for i, src := range srcs {
+		targets[offsets[src]+cursor[src]] = VertexID(dsts[i])
 		cursor[src]++
 	}
 	return &CSR{Offsets: offsets, Targets: targets}

@@ -111,10 +111,14 @@ type Edge struct {
 // Graph is a directed property multigraph. Multiple edges between the same
 // ordered vertex pair are permitted (each models a distinct flow).
 //
+// Edges are stored columnar (struct-of-arrays, see EdgeBatch): parallel
+// src/dst/property columns instead of a []Edge slice, so structural scans
+// touch 8 bytes per edge and the writers stream the columns sequentially.
+//
 // The zero value is an empty graph ready for use.
 type Graph struct {
 	numVertices int64
-	edges       []Edge
+	cols        EdgeBatch
 
 	// addrs optionally maps each vertex to an IPv4 address (host graphs
 	// built from traces). Either nil or of length numVertices.
@@ -133,7 +137,7 @@ func New(n int64) *Graph {
 // edgeCap edges, avoiding re-allocation while growing.
 func NewWithCapacity(n, edgeCap int64) *Graph {
 	g := New(n)
-	g.edges = make([]Edge, 0, edgeCap)
+	g.cols.Grow(int(edgeCap))
 	return g
 }
 
@@ -141,12 +145,21 @@ func NewWithCapacity(n, edgeCap int64) *Graph {
 func (g *Graph) NumVertices() int64 { return g.numVertices }
 
 // NumEdges returns |E| counting multi-edges.
-func (g *Graph) NumEdges() int64 { return int64(len(g.edges)) }
+func (g *Graph) NumEdges() int64 { return int64(g.cols.Len()) }
 
-// Edges returns the underlying edge list. The slice is shared with the
-// graph: callers must not grow it, but may read it freely (and the
-// generators mutate properties in place through it).
-func (g *Graph) Edges() []Edge { return g.edges }
+// Cols returns the graph's columnar edge store. The batch is shared with the
+// graph: callers may read the columns freely (and mutate properties in place
+// via SetEdge) but must not append through it — edge creation goes through
+// AddEdge/AddEdges/AppendBatch so endpoint validation holds.
+func (g *Graph) Cols() *EdgeBatch { return &g.cols }
+
+// EdgeAt materializes edge i as a row struct.
+func (g *Graph) EdgeAt(i int) Edge { return g.cols.Edge(i) }
+
+// EdgeSlice materializes the edge list as a fresh []Edge in edge order. It
+// is the bridge to row-structured consumers (the cluster dataset API); the
+// result shares no storage with the graph.
+func (g *Graph) EdgeSlice() []Edge { return g.cols.Edges() }
 
 // AddVertices appends n new vertices and returns the ID of the first one.
 func (g *Graph) AddVertices(n int64) VertexID {
@@ -168,7 +181,7 @@ func (g *Graph) AddEdge(e Edge) {
 	if e.Src < 0 || int64(e.Src) >= g.numVertices || e.Dst < 0 || int64(e.Dst) >= g.numVertices {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, g.numVertices))
 	}
-	g.edges = append(g.edges, e)
+	g.cols.Append(e)
 }
 
 // AddEdges appends a batch of edges without per-edge bounds checks; the batch
@@ -179,7 +192,20 @@ func (g *Graph) AddEdges(es []Edge) error {
 			return fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, es[i].Src, es[i].Dst, g.numVertices)
 		}
 	}
-	g.edges = append(g.edges, es...)
+	g.cols.AppendEdges(es)
+	return nil
+}
+
+// AppendBatch appends every edge of b (validated once, copied column-wise).
+// It is the zero-boxing bulk path: edges flow from a generator's pooled
+// batch into the graph without ever materializing row structs.
+func (g *Graph) AppendBatch(b *EdgeBatch) error {
+	for i, s := range b.src {
+		if int64(s) >= g.numVertices || int64(b.dst[i]) >= g.numVertices {
+			return fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, s, b.dst[i], g.numVertices)
+		}
+	}
+	g.cols.AppendBatch(b)
 	return nil
 }
 
@@ -203,19 +229,21 @@ func (g *Graph) Addr(v VertexID) uint32 {
 func (g *Graph) HasAddrs() bool { return g.addrs != nil }
 
 // OutDegrees returns the out-degree of every vertex (multi-edges counted).
+// The scan touches only the 4-byte src column.
 func (g *Graph) OutDegrees() []int64 {
 	deg := make([]int64, g.numVertices)
-	for i := range g.edges {
-		deg[g.edges[i].Src]++
+	for _, s := range g.cols.src {
+		deg[s]++
 	}
 	return deg
 }
 
 // InDegrees returns the in-degree of every vertex (multi-edges counted).
+// The scan touches only the 4-byte dst column.
 func (g *Graph) InDegrees() []int64 {
 	deg := make([]int64, g.numVertices)
-	for i := range g.edges {
-		deg[g.edges[i].Dst]++
+	for _, d := range g.cols.dst {
+		deg[d]++
 	}
 	return deg
 }
@@ -223,9 +251,9 @@ func (g *Graph) InDegrees() []int64 {
 // Degrees returns the total degree (in+out) of every vertex.
 func (g *Graph) Degrees() []int64 {
 	deg := make([]int64, g.numVertices)
-	for i := range g.edges {
-		deg[g.edges[i].Src]++
-		deg[g.edges[i].Dst]++
+	for i := range g.cols.src {
+		deg[g.cols.src[i]]++
+		deg[g.cols.dst[i]]++
 	}
 	return deg
 }
@@ -235,15 +263,16 @@ func (g *Graph) Degrees() []int64 {
 // properties are dropped. This is the E -> Ep step of the PGSK algorithm
 // (Figure 3, lines 1-5), implemented with a hashed edge set in O(|E|).
 func (g *Graph) Simplify() *Graph {
-	seen := make(map[[2]VertexID]struct{}, len(g.edges))
-	out := NewWithCapacity(g.numVertices, int64(len(g.edges)))
-	for i := range g.edges {
-		k := [2]VertexID{g.edges[i].Src, g.edges[i].Dst}
+	n := g.cols.Len()
+	seen := make(map[[2]VertexID]struct{}, n)
+	out := NewWithCapacity(g.numVertices, int64(n))
+	for i := 0; i < n; i++ {
+		k := [2]VertexID{g.cols.SrcID(i), g.cols.DstID(i)}
 		if _, dup := seen[k]; dup {
 			continue
 		}
 		seen[k] = struct{}{}
-		out.edges = append(out.edges, Edge{Src: k[0], Dst: k[1]})
+		out.cols.Append(Edge{Src: k[0], Dst: k[1]})
 	}
 	return out
 }
@@ -251,8 +280,7 @@ func (g *Graph) Simplify() *Graph {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	out := &Graph{numVertices: g.numVertices}
-	out.edges = make([]Edge, len(g.edges))
-	copy(out.edges, g.edges)
+	out.cols = *g.cols.Clone()
 	if g.addrs != nil {
 		out.addrs = make([]uint32, len(g.addrs))
 		copy(out.addrs, g.addrs)
@@ -269,13 +297,14 @@ func (g *Graph) Validate() error {
 	if g.addrs != nil && int64(len(g.addrs)) != g.numVertices {
 		return fmt.Errorf("graph: address table has %d entries for %d vertices", len(g.addrs), g.numVertices)
 	}
-	for i := range g.edges {
-		e := &g.edges[i]
-		if e.Src < 0 || int64(e.Src) >= g.numVertices {
-			return fmt.Errorf("graph: edge %d has source %d out of range [0,%d)", i, e.Src, g.numVertices)
+	for i, s := range g.cols.src {
+		// The uint32 columns cannot hold negatives, so only the upper
+		// bound needs checking.
+		if int64(s) >= g.numVertices {
+			return fmt.Errorf("graph: edge %d has source %d out of range [0,%d)", i, s, g.numVertices)
 		}
-		if e.Dst < 0 || int64(e.Dst) >= g.numVertices {
-			return fmt.Errorf("graph: edge %d has destination %d out of range [0,%d)", i, e.Dst, g.numVertices)
+		if d := g.cols.dst[i]; int64(d) >= g.numVertices {
+			return fmt.Errorf("graph: edge %d has destination %d out of range [0,%d)", i, d, g.numVertices)
 		}
 	}
 	return nil

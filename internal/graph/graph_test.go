@@ -123,7 +123,7 @@ func TestSimplifyDedupsAndStripsProps(t *testing.T) {
 	if s.NumVertices() != 3 {
 		t.Fatalf("Simplify vertices = %d, want 3", s.NumVertices())
 	}
-	for _, e := range s.Edges() {
+	for _, e := range s.EdgeSlice() {
 		if e.Props != (EdgeProps{}) {
 			t.Fatalf("Simplify kept properties on %v", e)
 		}
@@ -184,7 +184,7 @@ func TestAddrTable(t *testing.T) {
 func TestValidateCatchesCorruption(t *testing.T) {
 	g := New(2)
 	g.AddEdge(Edge{Src: 0, Dst: 1})
-	g.edges[0].Dst = 7 // corrupt directly
+	g.cols.dst[0] = 7 // corrupt directly
 	if err := g.Validate(); err == nil {
 		t.Fatal("Validate accepted out-of-range edge")
 	}

@@ -66,7 +66,7 @@ func (g *Graph) Write(w io.Writer) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], formatVersion)
 	binary.LittleEndian.PutUint32(hdr[4:8], flags)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(g.numVertices))
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(g.edges)))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(g.cols.Len()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -80,8 +80,9 @@ func (g *Graph) Write(w io.Writer) error {
 		}
 	}
 	var rec [edgeRecordSize]byte
-	for i := range g.edges {
-		encodeEdge(&g.edges[i], rec[:])
+	for i, n := 0, g.cols.Len(); i < n; i++ {
+		e := g.cols.Edge(i)
+		encodeEdge(&e, rec[:])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -142,6 +143,9 @@ func Read(r io.Reader) (*Graph, error) {
 	if nv < 0 || ne < 0 {
 		return nil, fmt.Errorf("graph: corrupt header (vertices=%d edges=%d)", nv, ne)
 	}
+	if ne > 0 && nv > int64(MaxBatchVertexID)+1 {
+		return nil, fmt.Errorf("graph: %d vertices exceed the columnar limit of 2^32", nv)
+	}
 	// Never pre-allocate from untrusted header counts: a corrupt 24-byte
 	// header must not be able to demand terabytes. Grow incrementally with
 	// a bounded initial capacity instead.
@@ -162,7 +166,15 @@ func Read(r io.Reader) (*Graph, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
 		}
-		g.edges = append(g.edges, decodeEdge(rec[:]))
+		e := decodeEdge(rec[:])
+		// Validate before appending: untrusted input must surface as an
+		// error, never as the columnar range panic. The bound also covers
+		// the uint32 column limit because nv > 2^32 headers are rejected
+		// when edges are present.
+		if e.Src < 0 || int64(e.Src) >= nv || e.Dst < 0 || int64(e.Dst) >= nv {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, e.Src, e.Dst, nv)
+		}
+		g.cols.Append(e)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -213,8 +225,9 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	if _, err := bw.WriteString(EdgeListHeader); err != nil {
 		return err
 	}
-	for i := range g.edges {
-		b := AppendEdgeListRow(bw.Scratch[:0], &g.edges[i])
+	for i, n := 0, g.cols.Len(); i < n; i++ {
+		e := g.cols.Edge(i)
+		b := AppendEdgeListRow(bw.Scratch[:0], &e)
 		bw.Scratch = b
 		if _, err := bw.Write(b); err != nil {
 			return err

@@ -12,8 +12,8 @@ func writeEdgeListReference(buf *bytes.Buffer, g *Graph) error {
 	if _, err := fmt.Fprintln(buf, "src\tdst\tproto\tsrc_port\tdst_port\tduration_ms\tout_bytes\tin_bytes\tout_pkts\tin_pkts\tstate"); err != nil {
 		return err
 	}
-	for i := range g.edges {
-		e := &g.edges[i]
+	for i, n := 0, g.cols.Len(); i < n; i++ {
+		e := g.cols.Edge(i)
 		_, err := fmt.Fprintf(buf, "%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
 			e.Src, e.Dst, e.Props.Protocol, e.Props.SrcPort, e.Props.DstPort,
 			e.Props.Duration, e.Props.OutBytes, e.Props.InBytes, e.Props.OutPkts, e.Props.InPkts, e.Props.State)

@@ -22,9 +22,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
 			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
 	}
-	for i := range g.Edges() {
-		if g.Edges()[i] != got.Edges()[i] {
-			t.Fatalf("edge %d mismatch: %+v vs %+v", i, g.Edges()[i], got.Edges()[i])
+	for i := range g.EdgeSlice() {
+		if g.EdgeSlice()[i] != got.EdgeSlice()[i] {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, g.EdgeSlice()[i], got.EdgeSlice()[i])
 		}
 	}
 }

@@ -17,12 +17,14 @@ func undirectedAdjacency(g *graph.Graph) [][]graph.VertexID {
 		}
 		return sets[v]
 	}
-	for _, e := range g.Edges() {
-		if e.Src == e.Dst {
+	cols := g.Cols()
+	for i, m := 0, cols.Len(); i < m; i++ {
+		src, dst := cols.SrcID(i), cols.DstID(i)
+		if src == dst {
 			continue
 		}
-		at(e.Src)[e.Dst] = struct{}{}
-		at(e.Dst)[e.Src] = struct{}{}
+		at(src)[dst] = struct{}{}
+		at(dst)[src] = struct{}{}
 	}
 	adj := make([][]graph.VertexID, n)
 	for v := int64(0); v < n; v++ {

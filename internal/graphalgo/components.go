@@ -73,8 +73,9 @@ func WeakComponents(g *graph.Graph) *Components {
 			rank[ra]++
 		}
 	}
-	for _, e := range g.Edges() {
-		union(int64(e.Src), int64(e.Dst))
+	cols := g.Cols()
+	for i, m := 0, cols.Len(); i < m; i++ {
+		union(int64(cols.SrcID(i)), int64(cols.DstID(i)))
 	}
 	out := &Components{Label: make([]graph.VertexID, n)}
 	seen := make(map[int64]struct{})

@@ -69,7 +69,7 @@ func TestWeakComponentsInvariants(t *testing.T) {
 			g.AddEdge(graph.Edge{Src: graph.VertexID(rng.Int64N(n)), Dst: graph.VertexID(rng.Int64N(n))})
 		}
 		c := WeakComponents(g)
-		for _, e := range g.Edges() {
+		for _, e := range g.EdgeSlice() {
 			if c.Label[e.Src] != c.Label[e.Dst] {
 				return false
 			}

@@ -32,17 +32,18 @@ func AggregateGraph(g *graph.Graph) (byDst, bySrc []Pattern) {
 		return uint32(v) + 1
 	}
 
-	edges := g.Edges()
-	m := int64(len(edges))
+	cols := g.Cols()
+	m := int64(cols.Len())
 
 	// CSR-style layout: one counting pass, then fill single backing arrays,
 	// so the whole aggregation performs O(1) allocations regardless of |E|.
+	// The counting pass touches only the 4-byte endpoint column it keys on.
 	side := func(byDstSide bool) []Pattern {
 		counts := make([]int64, n+1)
-		for i := range edges {
-			v := edges[i].Src
+		for i := 0; i < int(m); i++ {
+			v := cols.SrcID(i)
 			if byDstSide {
-				v = edges[i].Dst
+				v = cols.DstID(i)
 			}
 			counts[v+1]++
 		}
@@ -54,8 +55,8 @@ func AggregateGraph(g *graph.Graph) (byDst, bySrc []Pattern) {
 		ports := make([]uint16, m)
 		cursor := make([]int64, n)
 		pats := make([]Pattern, n)
-		for i := range edges {
-			e := &edges[i]
+		for i := 0; i < int(m); i++ {
+			e := cols.Edge(i)
 			v, peer := e.Src, e.Dst
 			if byDstSide {
 				v, peer = e.Dst, e.Src
@@ -64,7 +65,7 @@ func AggregateGraph(g *graph.Graph) (byDst, bySrc []Pattern) {
 			p.NFlows++
 			p.SumFlowSize += e.Props.OutBytes + e.Props.InBytes
 			p.SumPackets += e.Props.OutPkts + e.Props.InPkts
-			syn, ack := flagCounts(e)
+			syn, ack := flagCounts(&e)
 			p.SYN += syn
 			p.ACK += ack
 			at := offsets[v] + cursor[v]

@@ -60,7 +60,7 @@ func TestDeterministicPathGraph(t *testing.T) {
 	if g.NumEdges() != 4 {
 		t.Fatalf("edges = %d, want 4", g.NumEdges())
 	}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		if e.Src != 0 {
 			t.Fatalf("unexpected edge %v", e)
 		}
@@ -94,7 +94,7 @@ func TestGenerateDistinctAndSized(t *testing.T) {
 		t.Fatalf("vertices = %d, want 1024", g.NumVertices())
 	}
 	seen := map[[2]int64]bool{}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		k := [2]int64{int64(e.Src), int64(e.Dst)}
 		if seen[k] {
 			t.Fatalf("duplicate edge %v", k)
@@ -129,8 +129,8 @@ func TestGenerateValidation(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	a, _ := Generate(DefaultInitiator(), 9, 500, 7)
 	b, _ := Generate(DefaultInitiator(), 9, 500, 7)
-	for i := range a.Edges() {
-		if a.Edges()[i] != b.Edges()[i] {
+	for i := range a.EdgeSlice() {
+		if a.EdgeSlice()[i] != b.EdgeSlice()[i] {
 			t.Fatalf("edge %d differs", i)
 		}
 	}
@@ -146,7 +146,7 @@ func TestGenerateCoreConcentration(t *testing.T) {
 	}
 	n := g.NumVertices()
 	var low, high int64
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		if int64(e.Src) < n/2 {
 			low++
 		} else {
@@ -179,7 +179,7 @@ func TestGenerateParallelMatchesContract(t *testing.T) {
 		t.Fatalf("edges = %d, want 2000", g.NumEdges())
 	}
 	seen := map[[2]int64]bool{}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		k := [2]int64{int64(e.Src), int64(e.Dst)}
 		if seen[k] {
 			t.Fatalf("duplicate edge %v", k)

@@ -110,11 +110,13 @@ func Fit(g *graph.Graph, cfg Config) (*Result, error) {
 	}
 	st.edges = make([][2]int64, simple.NumEdges())
 	st.inc = make([][]int32, n)
-	for i, e := range simple.Edges() {
-		st.edges[i] = [2]int64{int64(e.Src), int64(e.Dst)}
-		st.inc[e.Src] = append(st.inc[e.Src], int32(i))
-		if e.Dst != e.Src {
-			st.inc[e.Dst] = append(st.inc[e.Dst], int32(i))
+	cols := simple.Cols()
+	for i := 0; i < cols.Len(); i++ {
+		src, dst := cols.SrcID(i), cols.DstID(i)
+		st.edges[i] = [2]int64{int64(src), int64(dst)}
+		st.inc[src] = append(st.inc[src], int32(i))
+		if dst != src {
+			st.inc[dst] = append(st.inc[dst], int32(i))
 		}
 	}
 	st.sigma = make([]int64, n)

@@ -58,10 +58,12 @@ func FlowsFromGraph(g *graph.Graph) []Flow {
 		}
 		return uint32(v) + 1 // synthetic vertices: 1-based pseudo-addresses
 	}
-	edges := g.Edges()
-	flows := make([]Flow, len(edges))
-	for i := range edges {
-		e := &edges[i]
+	// Stream straight over the graph's columns: each flow is built from the
+	// columnar store without materializing an intermediate []Edge copy.
+	cols := g.Cols()
+	flows := make([]Flow, cols.Len())
+	for i := range flows {
+		e := cols.Edge(i)
 		f := Flow{
 			SrcIP: addrOf(e.Src), DstIP: addrOf(e.Dst),
 			Protocol: e.Props.Protocol,

@@ -27,7 +27,7 @@ func ComputeDistributed(c *cluster.Cluster, g *graph.Graph, opt Options) (*Resul
 	}
 	n := g.NumVertices()
 	outDeg := g.OutDegrees()
-	edges := cluster.Parallelize(c, g.Edges(), 0)
+	edges := cluster.ParallelizeEdges(c, g.Cols(), 0)
 
 	inv := 1 / float64(n)
 	rank := make([]float64, n)

@@ -66,9 +66,12 @@ func (e *Engine) TopKByDegree(k int) []VertexDegree {
 // EdgesBetween returns every flow edge from u to v (edge query).
 func (e *Engine) EdgesBetween(u, v graph.VertexID) []graph.Edge {
 	var out []graph.Edge
-	for _, edge := range e.g.Edges() {
-		if edge.Src == u && edge.Dst == v {
-			out = append(out, edge)
+	// Endpoint filter over the 4-byte columns; properties are materialized
+	// only for the matching edges.
+	cols := e.g.Cols()
+	for i, n := 0, cols.Len(); i < n; i++ {
+		if cols.SrcID(i) == u && cols.DstID(i) == v {
+			out = append(out, cols.Edge(i))
 		}
 	}
 	return out
@@ -78,9 +81,10 @@ func (e *Engine) EdgesBetween(u, v graph.VertexID) []graph.Edge {
 // e.g. "TCP flows with state S0").
 func (e *Engine) CountEdges(pred func(*graph.Edge) bool) int64 {
 	var n int64
-	edges := e.g.Edges()
-	for i := range edges {
-		if pred(&edges[i]) {
+	cols := e.g.Cols()
+	for i, m := 0, cols.Len(); i < m; i++ {
+		edge := cols.Edge(i)
+		if pred(&edge) {
 			n++
 		}
 	}
@@ -172,11 +176,12 @@ func (e *Engine) Subgraph(vertices []graph.VertexID) *graph.Graph {
 			out.SetAddr(graph.VertexID(i), e.g.Addr(v))
 		}
 	}
-	for _, edge := range e.g.Edges() {
-		s, okS := idx[edge.Src]
-		d, okD := idx[edge.Dst]
+	cols := e.g.Cols()
+	for i, n := 0, cols.Len(); i < n; i++ {
+		s, okS := idx[cols.SrcID(i)]
+		d, okD := idx[cols.DstID(i)]
 		if okS && okD {
-			out.AddEdge(graph.Edge{Src: s, Dst: d, Props: edge.Props})
+			out.AddEdge(graph.Edge{Src: s, Dst: d, Props: cols.Props(i)})
 		}
 	}
 	return out

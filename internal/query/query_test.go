@@ -141,7 +141,7 @@ func TestSubgraph(t *testing.T) {
 	}
 	// Properties preserved.
 	var udp int
-	for _, ed := range sub.Edges() {
+	for _, ed := range sub.EdgeSlice() {
 		if ed.Props.Protocol == graph.ProtoUDP {
 			udp++
 		}

@@ -68,6 +68,12 @@ type Options struct {
 	// QueueLen bounds each subscriber's send queue in frames (0 means
 	// DefaultQueueLen).
 	QueueLen int
+	// BatchLen caps how many flows one stream frame may carry (0 means
+	// DefaultBatchLen, 1 forces v1 single-flow frames). Batching never
+	// delays delivery: a frame carries only the contiguous run of flows
+	// already queued when the writer catches up, so a caught-up live
+	// subscriber still sees every flow in its own frame.
+	BatchLen int
 	// ArtifactSHA is the content address stamped into every stream header.
 	ArtifactSHA [32]byte
 }
@@ -76,6 +82,7 @@ type Options struct {
 const (
 	DefaultQueueLen = 256
 	DefaultBurst    = 64
+	DefaultBatchLen = 64
 )
 
 func (o *Options) normalize() error {
@@ -90,6 +97,12 @@ func (o *Options) normalize() error {
 	}
 	if o.Burst <= 0 {
 		o.Burst = DefaultBurst
+	}
+	if o.BatchLen <= 0 {
+		o.BatchLen = DefaultBatchLen
+	}
+	if o.BatchLen > MaxBatchFlows {
+		return fmt.Errorf("replay: batch length %d exceeds the wire limit %d", o.BatchLen, MaxBatchFlows)
 	}
 	return nil
 }

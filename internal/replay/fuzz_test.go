@@ -94,6 +94,125 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// batchStream renders a stream carrying flows tiled to total records, framed
+// in batches of batchLen (the final frame takes whatever remains).
+func batchStream(t testing.TB, total, batchLen int) []byte {
+	t.Helper()
+	base := fuzzFlows()
+	flows := make([]netflow.Flow, total)
+	for i := range flows {
+		flows[i] = base[i%len(base)]
+	}
+	var buf bytes.Buffer
+	hdr := EncodeHeader(Header{Flows: uint64(total)})
+	buf.Write(hdr[:])
+	fw := newFrameWriter(&buf)
+	for i := 0; i < total; i += batchLen {
+		j := i + batchLen
+		if j > total {
+			j = total
+		}
+		if err := fw.writeFrame(uint64(i), EncodeFlows(flows[i:j])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.writeEnd(uint64(total)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeBatchFrame drives the stream reader over byte streams seeded with
+// batch frames — whole batches, mixed v1/batch framing, corrupt batch length
+// fields, flipped mid-batch payload bytes, and regressing batch sequence
+// numbers. The contract is the same as FuzzDecodeFrame (no panic, every
+// failure typed), plus a stronger invariant on success: however the input
+// frames its records, the per-flow sequence numbers the reader yields are
+// strictly increasing and the received count matches what it yielded.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	f.Add(batchStream(f, 16, 4))  // uniform batches
+	f.Add(batchStream(f, 10, 3))  // ragged final batch
+	f.Add(batchStream(f, 6, 1))   // pure v1 framing
+	f.Add(batchStream(f, 64, 64)) // one maximal-for-input batch
+
+	// Mixed v1 and batch frames on one stream.
+	mixed := func() []byte {
+		base := fuzzFlows()
+		flows := make([]netflow.Flow, 9)
+		for i := range flows {
+			flows[i] = base[i%len(base)]
+		}
+		var buf bytes.Buffer
+		hdr := EncodeHeader(Header{Flows: uint64(len(flows))})
+		buf.Write(hdr[:])
+		fw := newFrameWriter(&buf)
+		for _, span := range [][2]int{{0, 1}, {1, 5}, {5, 6}, {6, 9}} {
+			if err := fw.writeFrame(uint64(span[0]), EncodeFlows(flows[span[0]:span[1]])); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := fw.writeEnd(uint64(len(flows))); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(mixed)
+
+	valid := batchStream(f, 16, 4)
+	// Length field not a whole number of records.
+	ragged := append([]byte(nil), valid...)
+	ragged[HeaderLen+3]++
+	f.Add(ragged)
+	// Length field claiming a batch over the wire limit.
+	huge := append([]byte(nil), valid...)
+	huge[HeaderLen+0] = 0x01 // 4*80 -> 2^24 + 4*80 bytes
+	f.Add(huge)
+	// Flipped byte inside the second record of the first batch -> CRC mismatch.
+	flipped := append([]byte(nil), valid...)
+	flipped[HeaderLen+12+FlowRecordLen+5] ^= 0x01
+	f.Add(flipped)
+	// Second batch's seq regresses into the first.
+	regress := append([]byte(nil), valid...)
+	regress[HeaderLen+12+4*FlowRecordLen+4+11] = 1 // seq 4 -> 1
+	f.Add(regress)
+	// Truncation mid-batch payload.
+	f.Add(valid[:HeaderLen+12+2*FlowRecordLen+7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			expectTyped(t, err)
+			return
+		}
+		var yielded uint64
+		lastSeq, haveSeq := uint64(0), false
+		for {
+			fr, err := sr.Next()
+			if err != nil {
+				expectTyped(t, err)
+				return
+			}
+			if fr.End {
+				if sr.Received != yielded {
+					t.Fatalf("Received = %d, yielded %d flows", sr.Received, yielded)
+				}
+				if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+					t.Fatalf("post-end Next() = %v, want io.EOF", err)
+				}
+				return
+			}
+			if haveSeq && fr.Seq <= lastSeq {
+				t.Fatalf("seq %d after %d: not strictly increasing", fr.Seq, lastSeq)
+			}
+			lastSeq, haveSeq = fr.Seq, true
+			if len(fr.Raw) != FlowRecordLen {
+				t.Fatalf("frame raw is %d bytes", len(fr.Raw))
+			}
+			yielded++
+		}
+	})
+}
+
 // FuzzReadFlowFile drives the CSBF1 artifact parser over arbitrary bytes with
 // the same no-panic, typed-error contract, and checks that intact files
 // round-trip.

@@ -32,6 +32,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	subs    map[*subscriber]struct{}
+	bcast   []*subscriber // emitter-owned snapshot scratch, reused every flow
 	started bool
 	runOver bool // emitter finished; set under mu before queues close
 	closed  bool
@@ -256,12 +257,15 @@ func (s *Server) run() {
 }
 
 // broadcast offers flow index i to every live subscriber under the policy.
+// The snapshot scratch is owned by the emitter goroutine (broadcast's only
+// caller) and reused across flows, so the per-flow fan-out allocates nothing.
 func (s *Server) broadcast(i int) {
 	s.mu.Lock()
-	subs := make([]*subscriber, 0, len(s.subs))
+	subs := s.bcast[:0]
 	for sub := range s.subs {
 		subs = append(subs, sub)
 	}
+	s.bcast = subs
 	s.mu.Unlock()
 	for _, sub := range subs {
 		switch s.opts.Policy {
@@ -305,9 +309,14 @@ func (s *Server) removeSub(sub *subscriber) {
 	s.mu.Unlock()
 }
 
-// writeLoop frames and sends one subscriber's stream. The send buffer is
-// flushed whenever the queue drains, so a caught-up live stream sees every
-// flow promptly while a catching-up stream batches.
+// writeLoop frames and sends one subscriber's stream. Whatever contiguous
+// run of flow indices is already queued when the writer comes around goes out
+// as one batch frame — a single slab slice, framed and checksummed once — so
+// a catching-up stream amortizes framing across up to Options.BatchLen flows
+// while a caught-up stream still gets every flow in its own frame the moment
+// it is emitted. Batching never waits: only indices sitting in the queue
+// right now extend the frame. The send buffer is flushed whenever the queue
+// drains, so a caught-up live stream sees every flow promptly.
 func (s *Server) writeLoop(sub *subscriber) {
 	defer close(sub.gone)
 	defer s.removeSub(sub)
@@ -316,13 +325,48 @@ func (s *Server) writeLoop(sub *subscriber) {
 		return
 	}
 	fw := newFrameWriter(sub.conn)
-	for i := range sub.ch {
-		payload := s.slab[i*FlowRecordLen : (i+1)*FlowRecordLen]
-		if err := fw.writeFrame(uint64(i), payload); err != nil {
+	var (
+		pending     int  // first index of the next frame, when havePending
+		havePending bool // a non-contiguous index was pulled off the queue
+		closed      bool // the queue closed mid-collect
+	)
+	for !closed {
+		var first int
+		if havePending {
+			first, havePending = pending, false
+		} else {
+			i, ok := <-sub.ch
+			if !ok {
+				break
+			}
+			first = i
+		}
+		count := 1
+	collect:
+		for count < s.opts.BatchLen {
+			select {
+			case j, ok := <-sub.ch:
+				if !ok {
+					closed = true
+					break collect
+				}
+				if j != first+count {
+					// A drop-policy gap: it must land between frames so the
+					// receiver sees it as a sequence jump.
+					pending, havePending = j, true
+					break collect
+				}
+				count++
+			default:
+				break collect
+			}
+		}
+		payload := s.slab[first*FlowRecordLen : (first+count)*FlowRecordLen]
+		if err := fw.writeFrame(uint64(first), payload); err != nil {
 			return
 		}
-		sub.delivered++
-		if len(sub.ch) == 0 {
+		sub.delivered += uint64(count)
+		if !havePending && len(sub.ch) == 0 {
 			if err := fw.w.Flush(); err != nil {
 				return
 			}

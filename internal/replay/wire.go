@@ -17,18 +17,25 @@
 //	  [40:48] flow count of the run, uint64 BE
 //
 //	frame:
-//	  [0:4]   payload length, uint32 BE (FlowRecordLen, or 0 = end of stream)
-//	  [4:12]  sequence number, uint64 BE (flow index in the run; the end
-//	          frame carries the count of flows emitted to this stream)
-//	  [12:..] payload (one flow record)
+//	  [0:4]   payload length, uint32 BE: k*FlowRecordLen for a batch of k
+//	          consecutive flows (k = 1 is the original v1 single-flow frame;
+//	          0 = end of stream; any other length is corruption)
+//	  [4:12]  sequence number, uint64 BE (the first flow's index in the run;
+//	          a batch's k records are flows seq..seq+k-1; the end frame
+//	          carries the count of flows emitted to this stream)
+//	  [12:..] payload (k concatenated flow records)
 //	  [..+4]  rolling CRC32 (IEEE), uint32 BE, of every payload byte
 //	          delivered on this stream so far including this frame
 //
 // The sequence number makes lag-policy drops visible (a gap in seq), and the
 // rolling checksum makes silent corruption or truncation detectable at every
-// frame, not just at end of stream. Concatenating the payloads of a
-// gap-free stream reproduces the source artifact's flow section byte for
-// byte.
+// frame, not just at end of stream. Batch frames are pure framing: the
+// checksum folds payload bytes, not frame boundaries, so a batch of k flows
+// rolls the CRC to exactly the state k single-flow frames would, and
+// concatenating the payloads of a gap-free stream reproduces the source
+// artifact's flow section byte for byte regardless of how the sender
+// batched. Decoders accept both kinds on one stream; senders written before
+// the batch kind simply always emit k = 1.
 package replay
 
 import (
@@ -56,6 +63,11 @@ const (
 	FlowFileHeaderLen = 16
 	// FlowRecordLen is the fixed encoded size of one flow record.
 	FlowRecordLen = 80
+	// MaxBatchFlows bounds how many flow records one batch frame may carry.
+	// It caps the sender's framing and, more importantly, the decoder's
+	// buffer: a corrupt length field can never demand more than
+	// MaxBatchFlows*FlowRecordLen bytes.
+	MaxBatchFlows = 1024
 	// frameOverhead is the per-frame framing cost: length + seq + crc.
 	frameOverhead = 4 + 8 + 4
 )
@@ -233,8 +245,9 @@ func newFrameWriter(w io.Writer) *frameWriter {
 	return &frameWriter{w: bufio.NewWriterSize(w, 1<<15)}
 }
 
-// writeFrame emits one flow frame and folds the payload into the rolling
-// checksum.
+// writeFrame emits one frame — payload is k >= 1 concatenated flow records,
+// seq the first record's flow index — and folds the payload into the rolling
+// checksum with a single CRC update, however many records it carries.
 func (fw *frameWriter) writeFrame(seq uint64, payload []byte) error {
 	var pre [12]byte
 	binary.BigEndian.PutUint32(pre[0:4], uint32(len(payload)))
@@ -284,15 +297,25 @@ type Frame struct {
 }
 
 // StreamReader consumes one CSBS1 stream, verifying the rolling checksum on
-// every frame.
+// every frame. It decodes v1 single-flow frames and batch frames on the same
+// stream transparently: Next yields exactly one flow per call either way, so
+// callers never see the sender's framing. The payload buffer is reused
+// across frames (grown geometrically up to the MaxBatchFlows bound), which is
+// what keeps a fan-out consumer allocation-free per flow.
 type StreamReader struct {
 	br  *bufio.Reader
 	crc uint32
-	buf [FlowRecordLen]byte
+
+	// payload holds the current frame's records; off is the byte offset of
+	// the next record Next will yield, batchSeq the frame's first flow index.
+	payload  []byte
+	off      int
+	batchSeq uint64
 
 	// Header is the stream header, decoded at construction.
 	Header Header
-	// Received counts flow frames read so far.
+	// Received counts flow records read so far (a batch frame counts once
+	// per record it carries).
 	Received uint64
 	// Gaps counts flows skipped by the sender's lag policy, derived from
 	// sequence-number jumps.
@@ -317,11 +340,15 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	return &StreamReader{br: br, Header: h}, nil
 }
 
-// Next returns the next frame. After the end-of-stream frame is returned
-// (End true), subsequent calls return io.EOF.
+// Next returns the next flow frame, reading a new wire frame only once the
+// current batch's records are exhausted. After the end-of-stream frame is
+// returned (End true), subsequent calls return io.EOF.
 func (sr *StreamReader) Next() (Frame, error) {
 	if sr.done {
 		return Frame{}, io.EOF
+	}
+	if sr.off < len(sr.payload) {
+		return sr.yield(), nil
 	}
 	var pre [12]byte
 	if _, err := io.ReadFull(sr.br, pre[:]); err != nil {
@@ -343,13 +370,22 @@ func (sr *StreamReader) Next() (Frame, error) {
 		sr.done = true
 		return Frame{Seq: seq, End: true}, nil
 	}
-	if length != FlowRecordLen {
-		return Frame{}, corruptf("frame length %d, want %d", length, FlowRecordLen)
+	if length%FlowRecordLen != 0 {
+		return Frame{}, corruptf("frame length %d is not a multiple of the %d-byte record", length, FlowRecordLen)
 	}
-	if _, err := io.ReadFull(sr.br, sr.buf[:]); err != nil {
+	k := length / FlowRecordLen
+	if k > MaxBatchFlows {
+		return Frame{}, corruptf("batch of %d flows exceeds the %d-flow limit", k, MaxBatchFlows)
+	}
+	if cap(sr.payload) < int(length) {
+		sr.payload = make([]byte, length)
+	} else {
+		sr.payload = sr.payload[:length]
+	}
+	if _, err := io.ReadFull(sr.br, sr.payload); err != nil {
 		return Frame{}, fmt.Errorf("replay: frame payload: %w", err)
 	}
-	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, sr.buf[:])
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, sr.payload)
 	var sum [4]byte
 	if _, err := io.ReadFull(sr.br, sum[:]); err != nil {
 		return Frame{}, fmt.Errorf("replay: frame checksum: %w", err)
@@ -365,11 +401,22 @@ func (sr *StreamReader) Next() (Frame, error) {
 	} else {
 		sr.started = true
 	}
-	sr.nextSeq = seq + 1
-	f, err := DecodeFlow(sr.buf[:])
-	if err != nil {
-		return Frame{}, err
-	}
+	sr.nextSeq = seq + uint64(k)
+	sr.batchSeq = seq
+	sr.off = 0
+	return sr.yield(), nil
+}
+
+// yield decodes the next record of the current frame's payload. The caller
+// has already verified off < len(payload); records inside a batch are
+// consecutive flows, so the per-record sequence number is derived from the
+// frame's first index.
+func (sr *StreamReader) yield() Frame {
+	rec := sr.payload[sr.off : sr.off+FlowRecordLen]
+	seq := sr.batchSeq + uint64(sr.off/FlowRecordLen)
+	sr.off += FlowRecordLen
+	// rec holds exactly FlowRecordLen bytes, so DecodeFlow cannot fail.
+	f, _ := DecodeFlow(rec)
 	sr.Received++
-	return Frame{Seq: seq, Flow: f, Raw: sr.buf[:]}, nil
+	return Frame{Seq: seq, Flow: f, Raw: rec}
 }

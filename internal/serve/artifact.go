@@ -143,7 +143,7 @@ func EncodeArtifact(w io.Writer, g *graph.Graph, format string) error {
 // order (deterministic for deterministic graphs). The row formatter lives in
 // internal/dist/rows so the sequential and distributed encoders share it.
 func writeNDJSON(w io.Writer, g *graph.Graph) error {
-	out, err := rows.NDJSONRows(g.Edges())
+	out, err := rows.NDJSONBatch(g.Cols())
 	if err != nil {
 		return err
 	}
@@ -165,11 +165,11 @@ func encodeArtifactOn(w io.Writer, g *graph.Graph, format string, c *cluster.Clu
 	}
 	switch format {
 	case FormatTSV, "":
-		return writeChunked(w, c, g.Edges(), graph.EdgeListHeader, rows.TSVKind,
+		return writeChunked(w, cluster.ParallelizeEdges(c, g.Cols(), 0), graph.EdgeListHeader, rows.TSVKind,
 			func(xs []graph.Edge) []byte { return rows.TSVRows(xs) },
 			rows.EncodeEdges)
 	case FormatNDJSON:
-		return writeChunked(w, c, g.Edges(), "", rows.NDJSONKind,
+		return writeChunked(w, cluster.ParallelizeEdges(c, g.Cols(), 0), "", rows.NDJSONKind,
 			func(xs []graph.Edge) []byte {
 				out, err := rows.NDJSONRows(xs)
 				if err != nil {
@@ -179,7 +179,7 @@ func encodeArtifactOn(w io.Writer, g *graph.Graph, format string, c *cluster.Clu
 			},
 			rows.EncodeEdges)
 	case FormatCSV:
-		return writeChunked(w, c, netflow.FlowsFromGraph(g), netflow.CSVHeaderLine, rows.CSVKind,
+		return writeChunked(w, cluster.Parallelize(c, netflow.FlowsFromGraph(g), 0), netflow.CSVHeaderLine, rows.CSVKind,
 			func(xs []netflow.Flow) []byte { return rows.CSVRows(xs) },
 			rows.EncodeFlows)
 	default:
@@ -187,11 +187,13 @@ func encodeArtifactOn(w io.Writer, g *graph.Graph, format string, c *cluster.Clu
 	}
 }
 
-// writeChunked runs one remotable row-encode stage over the records and
-// writes header plus the row chunks in partition order.
-func writeChunked[T any](w io.Writer, c *cluster.Cluster, recs []T, header, kind string,
+// writeChunked runs one remotable row-encode stage over the pre-partitioned
+// records and writes header plus the row chunks in partition order. Callers
+// hand it a dataset (ParallelizeEdges for columnar edge sources) so record
+// batches stream into partition storage without a monolithic row slice.
+func writeChunked[T any](w io.Writer, ds *cluster.Dataset[T], header, kind string,
 	local func(xs []T) []byte, payload func(xs []T) []byte) error {
-	ds := cluster.Parallelize(c, recs, 0)
+	c := ds.Cluster()
 	chunks := cluster.MapPartitionsRemotable(ds, kind,
 		func(part int, xs []T) []byte { return local(xs) },
 		func(part int, xs []T) []byte { return payload(xs) },
